@@ -1,0 +1,113 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Experiment E10: Theorem 3's CPU claim. The active algorithm's exact
+// work happens once, on the weighted sample Sigma of size
+// N = O((w/eps^2) log n log(n/w)), via the polynomial Theorem 4 solver --
+// so end-to-end CPU time is polynomial and dominated by the decomposition
+// (O(dn^2 + n^2.5)) plus the passive solve on |Sigma| << n points.
+
+#include <iostream>
+
+#include "active/multi_d.h"
+#include "active/oracle.h"
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "util/timer.h"
+
+namespace monoclass {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E10", "Theorem 3",
+      "active solving is polynomial: sampling time ~ probes; the exact "
+      "step runs on |Sigma| = O((w/eps^2) log n log(n/w)) points only");
+
+  bench::PrintSection(
+      "end-to-end with precomputed chains (w = 8, eps = 1.0, 1% noise)");
+  {
+    TextTable table({"n", "probes", "|Sigma|", "total-ms", "|Sigma|/n"});
+    for (const size_t length : {2048u, 8192u, 32768u, 131072u}) {
+      ChainInstanceOptions options;
+      options.num_chains = 8;
+      options.chain_length = length;
+      options.noise_per_chain = length / 100;
+      options.seed = length + 3;
+      const ChainInstance instance = GenerateChainInstance(options);
+      InMemoryOracle oracle(instance.data);
+      ActiveSolveOptions solve_options;
+      solve_options.sampling = ActiveSamplingParams::Practical(1.0, 0.05);
+      solve_options.precomputed_chains = instance.chains;
+      WallTimer timer;
+      const auto result =
+          SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+      const double total_ms = timer.ElapsedMillis();
+      table.AddRowValues(
+          instance.data.size(), result.probes, result.sigma.size(),
+          FormatDouble(total_ms, 4),
+          FormatDouble(static_cast<double>(result.sigma.size()) /
+                           static_cast<double>(instance.data.size()),
+                       3));
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection(
+      "end-to-end including Lemma 6 (uniform planted sets, eps = 1.0)");
+  {
+    TextTable table({"n", "d", "w", "probes", "|Sigma|", "total-ms"});
+    for (const size_t n : {1000u, 2000u, 4000u}) {
+      PlantedOptions options;
+      options.num_points = n;
+      options.dimension = 2;
+      options.noise_flips = n / 100;
+      options.seed = n;
+      const PlantedInstance instance = GeneratePlanted(options);
+      InMemoryOracle oracle(instance.data);
+      ActiveSolveOptions solve_options;
+      solve_options.sampling = ActiveSamplingParams::Practical(1.0, 0.05);
+      WallTimer timer;
+      const auto result =
+          SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+      table.AddRowValues(n, 2, result.num_chains, result.probes,
+                         result.sigma.size(),
+                         FormatDouble(timer.ElapsedMillis(), 4));
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection("eps effect on |Sigma| (w = 8, chain length 8192)");
+  {
+    ChainInstanceOptions options;
+    options.num_chains = 8;
+    options.chain_length = 8192;
+    options.noise_per_chain = 80;
+    options.seed = 77;
+    const ChainInstance instance = GenerateChainInstance(options);
+    TextTable table({"eps", "|Sigma|", "|Sigma|*eps^2", "total-ms"});
+    for (const double eps : {1.0, 0.5, 0.25}) {
+      InMemoryOracle oracle(instance.data);
+      ActiveSolveOptions solve_options;
+      solve_options.sampling = ActiveSamplingParams::Practical(eps, 0.05);
+      solve_options.precomputed_chains = instance.chains;
+      WallTimer timer;
+      const auto result =
+          SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+      table.AddRowValues(
+          eps, result.sigma.size(),
+          FormatDouble(static_cast<double>(result.sigma.size()) * eps * eps,
+                       5),
+          FormatDouble(timer.ElapsedMillis(), 4));
+    }
+    bench::PrintTable(table);
+  }
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main() {
+  monoclass::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Experiment E9: Lemma 5 validated empirically. For a (mu, phi, delta)
+// grid, draws the prescribed number of Bernoulli samples 10^4 times and
+// reports the observed violation rate Pr[|estimate - mu| >= phi], which
+// must stay below delta.
+
+#include <cmath>
+#include <iostream>
+
+#include "active/estimator.h"
+#include "bench_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E9", "Lemma 5",
+      "t = ceil(max(mu/phi^2, 1/phi) * 3 ln(2/delta)) samples estimate a "
+      "Bernoulli mean within phi except with probability <= delta");
+
+  const int kRepetitions = 10000;
+  Rng rng(2021);
+  TextTable table({"mu", "phi", "delta", "t (Lemma 5)",
+                   "violation rate", "bound holds"});
+  for (const double mu : {0.02, 0.1, 0.5, 0.9}) {
+    for (const double phi : {0.05, 0.1}) {
+      for (const double delta : {0.1, 0.01}) {
+        const size_t t = Lemma5SampleSize(phi, delta, mu);
+        int violations = 0;
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+          const double estimate = EstimateBernoulliMean(rng, mu, t);
+          if (std::abs(estimate - mu) >= phi) ++violations;
+        }
+        const double rate = static_cast<double>(violations) / kRepetitions;
+        table.AddRowValues(mu, phi, delta, t, FormatDouble(rate, 4),
+                           rate <= delta ? "yes" : "NO");
+      }
+    }
+  }
+  bench::PrintTable(table);
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main() {
+  monoclass::Run();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Experiment E8: Theorem 1 / Lemma 19, executed. On the adversarial
+// family, sweeping the number of probed pairs l shows the exact
+// accuracy/cost trade-off: any strategy accurate on more than half the
+// family pays Theta(n^2) total probes across the n inputs -- i.e. Omega(n)
+// on average -- so probing everything is asymptotically optimal for exact
+// classification. Also validates the closed forms against simulation
+// (note: the simulation gives totalcost = nl - l^2 + l; the paper's (34)
+// has a -l slip; the asymptotics are unchanged).
+
+#include <iostream>
+#include <numeric>
+
+#include "active/lower_bound.h"
+#include "bench_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E8", "Theorem 1, Lemma 19",
+      "nonoptcnt >= n/2 - l and totalcost = n*l - l^2 + l: accuracy on "
+      "the family forces Omega(n) average probes");
+
+  bench::PrintSection("l sweep on the family with n = 256");
+  {
+    const size_t n = 256;
+    TextTable table({"l (pairs probed)", "totalcost (sim)",
+                     "totalcost (formula)", "nonoptcnt (sim)",
+                     "nonopt lower bound", "avg probes/input"});
+    for (const size_t l : {0u, 16u, 32u, 64u, 96u, 112u, 120u, 128u}) {
+      DeterministicPairStrategy strategy;
+      strategy.pair_order.resize(l);
+      std::iota(strategy.pair_order.begin(), strategy.pair_order.end(),
+                size_t{1});
+      strategy.fallback_tau = -1e300;
+      const FamilyRunStats stats = EvaluateStrategy(n, strategy);
+      table.AddRowValues(
+          l, stats.totalcost, PredictedTotalCost(n, l), stats.nonoptcnt,
+          PredictedNonOptLowerBound(n, l),
+          FormatDouble(static_cast<double>(stats.totalcost) /
+                           static_cast<double>(n),
+                       4));
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection(
+      "accuracy-vs-cost frontier across n (l = smallest with "
+      "nonoptcnt <= n/3)");
+  {
+    TextTable table({"n", "l needed", "totalcost", "totalcost/n^2",
+                     "avg probes/input"});
+    for (const size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+      // nonoptcnt >= n/2 - l <= n/3  =>  l >= n/6.
+      size_t l_needed = 0;
+      FamilyRunStats stats;
+      for (size_t l = 0; l <= n / 2; ++l) {
+        DeterministicPairStrategy strategy;
+        strategy.pair_order.resize(l);
+        std::iota(strategy.pair_order.begin(), strategy.pair_order.end(),
+                  size_t{1});
+        stats = EvaluateStrategy(n, strategy);
+        if (stats.nonoptcnt <= n / 3) {
+          l_needed = l;
+          break;
+        }
+      }
+      table.AddRowValues(
+          n, l_needed, stats.totalcost,
+          FormatDouble(static_cast<double>(stats.totalcost) /
+                           (static_cast<double>(n) * static_cast<double>(n)),
+                       4),
+          FormatDouble(static_cast<double>(stats.totalcost) /
+                           static_cast<double>(n),
+                       5));
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection("random probe orders match the formula (n = 128)");
+  {
+    const size_t n = 128;
+    Rng rng(12);
+    TextTable table({"trial", "l", "totalcost (sim)", "formula", "match"});
+    for (int trial = 0; trial < 5; ++trial) {
+      const size_t l = rng.UniformInt(n / 2 + 1);
+      std::vector<size_t> pairs(n / 2);
+      std::iota(pairs.begin(), pairs.end(), size_t{1});
+      rng.Shuffle(pairs);
+      DeterministicPairStrategy strategy;
+      strategy.pair_order.assign(pairs.begin(),
+                                 pairs.begin() + static_cast<long>(l));
+      const FamilyRunStats stats = EvaluateStrategy(n, strategy);
+      const size_t formula = PredictedTotalCost(n, l);
+      table.AddRowValues(trial, l, stats.totalcost, formula,
+                         stats.totalcost == formula ? "yes" : "NO");
+    }
+    bench::PrintTable(table);
+  }
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main() {
+  monoclass::Run();
+  return 0;
+}

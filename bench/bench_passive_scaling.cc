@@ -1,0 +1,158 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Experiment E2: Theorem 4 runtime scaling. The claim is
+// O(d n^2) + T_maxflow(n): the graph build dominates for small flows, and
+// the total stays polynomial. Also reports the contending-reduction
+// ablation (network size and runtime with/without Lemma 15) and verifies
+// the optimum against brute force at the smallest n.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "passive/brute_force.h"
+#include "passive/flow_solver.h"
+#include "passive/staircase_2d.h"
+#include "util/timer.h"
+
+namespace monoclass {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "E2", "Theorem 4",
+      "passive weighted classification solves exactly in O(dn^2) + "
+      "T_maxflow(n); the Lemma 15 reduction shrinks the network");
+
+  bench::PrintSection("runtime scaling in n (d = 2, 1% label noise)");
+  {
+    TextTable table({"n", "contending", "net-verts", "inf-edges",
+                     "k*", "time-ms", "time/n^2 (us)"});
+    for (const size_t n : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+      PlantedOptions options;
+      options.num_points = n;
+      options.dimension = 2;
+      options.noise_flips = n / 100;
+      options.seed = n;
+      const PlantedInstance instance = GeneratePlanted(options);
+      WallTimer timer;
+      const PassiveSolveResult result =
+          SolvePassiveUnweighted(instance.data);
+      const double ms = timer.ElapsedMillis();
+      table.AddRowValues(
+          n, result.num_contending, result.network_vertices,
+          result.network_infinite_edges,
+          static_cast<size_t>(result.optimal_weighted_error + 0.5),
+          FormatDouble(ms, 4),
+          FormatDouble(1e3 * ms / (static_cast<double>(n) *
+                                   static_cast<double>(n)),
+                       3));
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection("runtime scaling in d (n = 2048, 1% noise)");
+  {
+    TextTable table({"d", "contending", "k*", "time-ms"});
+    for (const size_t d : {2u, 4u, 8u, 16u}) {
+      PlantedOptions options;
+      options.num_points = 2048;
+      options.dimension = d;
+      options.noise_flips = 20;
+      options.seed = 17 + d;
+      const PlantedInstance instance = GeneratePlanted(options);
+      WallTimer timer;
+      const PassiveSolveResult result =
+          SolvePassiveUnweighted(instance.data);
+      table.AddRowValues(
+          d, result.num_contending,
+          static_cast<size_t>(result.optimal_weighted_error + 0.5),
+          FormatDouble(timer.ElapsedMillis(), 4));
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection(
+      "ablation: Lemma 15 contending reduction on vs off (d = 2)");
+  {
+    TextTable table({"n", "verts (on)", "verts (off)", "ms (on)", "ms (off)",
+                     "same optimum"});
+    for (const size_t n : {512u, 2048u, 4096u}) {
+      PlantedOptions options;
+      options.num_points = n;
+      options.noise_flips = n / 50;
+      options.seed = 3 * n;
+      const PlantedInstance instance = GeneratePlanted(options);
+      PassiveSolveOptions on;
+      on.reduce_to_contending = true;
+      PassiveSolveOptions off;
+      off.reduce_to_contending = false;
+      WallTimer timer_on;
+      const auto result_on = SolvePassiveUnweighted(instance.data, on);
+      const double ms_on = timer_on.ElapsedMillis();
+      WallTimer timer_off;
+      const auto result_off = SolvePassiveUnweighted(instance.data, off);
+      const double ms_off = timer_off.ElapsedMillis();
+      table.AddRowValues(n, result_on.network_vertices,
+                         result_off.network_vertices,
+                         FormatDouble(ms_on, 4), FormatDouble(ms_off, 4),
+                         result_on.optimal_weighted_error ==
+                                 result_off.optimal_weighted_error
+                             ? "yes"
+                             : "NO");
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection(
+      "extension: flow solver vs 2D staircase DP (both exact; d = 2)");
+  {
+    TextTable table({"n", "flow ms", "staircase ms", "same optimum"});
+    for (const size_t n : {512u, 2048u, 8192u}) {
+      PlantedOptions options;
+      options.num_points = n;
+      options.noise_flips = n / 100;
+      options.seed = 7 * n;
+      const PlantedInstance instance = GeneratePlanted(options);
+      const WeightedPointSet weighted =
+          WeightedPointSet::UnitWeights(instance.data);
+      WallTimer flow_timer;
+      const double flow =
+          SolvePassiveWeighted(weighted).optimal_weighted_error;
+      const double flow_ms = flow_timer.ElapsedMillis();
+      WallTimer staircase_timer;
+      const double staircase =
+          SolvePassiveStaircase2D(weighted).optimal_weighted_error;
+      const double staircase_ms = staircase_timer.ElapsedMillis();
+      table.AddRowValues(n, FormatDouble(flow_ms, 4),
+                         FormatDouble(staircase_ms, 4),
+                         flow == staircase ? "yes" : "NO");
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection("cross-check vs brute force (n = 18)");
+  {
+    TextTable table({"seed", "flow k*", "brute k*", "match"});
+    for (const uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      PlantedOptions options;
+      options.num_points = 18;
+      options.noise_flips = 4;
+      options.seed = seed;
+      const PlantedInstance instance = GeneratePlanted(options);
+      const size_t flow = OptimalError(instance.data);
+      const size_t brute = OptimalErrorBruteForce(instance.data);
+      table.AddRowValues(seed, flow, brute, flow == brute ? "yes" : "NO");
+    }
+    bench::PrintTable(table);
+  }
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main() {
+  monoclass::Run();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared scaffolding for the experiment harnesses in bench/. Each binary
+// reproduces one experiment from DESIGN.md / EXPERIMENTS.md and prints
+// paper-style tables to stdout.
+
+#ifndef MONOCLASS_BENCH_BENCH_UTIL_H_
+#define MONOCLASS_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace monoclass {
+namespace bench {
+
+// Prints the experiment banner: id, paper artifact, claim under test.
+inline void PrintHeader(const std::string& id, const std::string& artifact,
+                        const std::string& claim) {
+  std::cout << "=== Experiment " << id << " -- " << artifact << " ===\n"
+            << "Claim: " << claim << "\n\n";
+}
+
+inline void PrintSection(const std::string& title) {
+  std::cout << "\n--- " << title << " ---\n";
+}
+
+inline void PrintTable(const TextTable& table) {
+  table.Print(std::cout);
+  std::cout << std::flush;
+}
+
+}  // namespace bench
+}  // namespace monoclass
+
+#endif  // MONOCLASS_BENCH_BENCH_UTIL_H_

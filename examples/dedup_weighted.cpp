@@ -1,0 +1,80 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Weighted passive classification for duplicate detection (paper
+// Problem 2): labels are already known, but mistakes are not equal --
+// merging two *different* customers (false match) is far more costly
+// than missing a duplicate (false non-match). Encoding the costs as point
+// weights and solving exactly with the Theorem 4 flow solver yields the
+// cost-optimal explainable de-dup rule, which shifts the decision
+// boundary relative to the unweighted optimum.
+//
+// Build & run:  ./build/examples/dedup_weighted
+
+#include <iostream>
+
+#include "data/entity_matching.h"
+#include "passive/flow_solver.h"
+#include "util/table.h"
+
+int main() {
+  using namespace monoclass;
+
+  EntityMatchingOptions options;
+  options.num_pairs = 3000;
+  options.match_fraction = 0.3;
+  options.typo_rate = 0.25;  // messy data: real label conflicts
+  options.dimension = 2;
+  options.seed = 77;
+  const EntityMatchingInstance corpus = GenerateEntityMatching(options);
+
+  // Cost model: classifying a non-match as a match (merging different
+  // customers) costs 20; missing a true duplicate costs 1.
+  const double kFalseMatchCost = 20.0;
+  const double kMissedDuplicateCost = 1.0;
+  std::vector<double> weights(corpus.data.size());
+  for (size_t i = 0; i < corpus.data.size(); ++i) {
+    weights[i] = corpus.data.label(i) == 0 ? kFalseMatchCost
+                                           : kMissedDuplicateCost;
+  }
+  const WeightedPointSet weighted(corpus.data.points(),
+                                  corpus.data.labels(), weights);
+
+  const PassiveSolveResult unweighted =
+      SolvePassiveUnweighted(corpus.data);
+  const PassiveSolveResult cost_aware = SolvePassiveWeighted(weighted);
+
+  auto confusion = [&](const MonotoneClassifier& h) {
+    size_t false_match = 0;
+    size_t missed_duplicate = 0;
+    for (size_t i = 0; i < corpus.data.size(); ++i) {
+      const bool predicted = h.Classify(corpus.data.point(i));
+      if (predicted && corpus.data.label(i) == 0) ++false_match;
+      if (!predicted && corpus.data.label(i) == 1) ++missed_duplicate;
+    }
+    return std::make_pair(false_match, missed_duplicate);
+  };
+
+  const auto [fm_plain, md_plain] = confusion(unweighted.classifier);
+  const auto [fm_cost, md_cost] = confusion(cost_aware.classifier);
+
+  TextTable table({"objective", "false matches", "missed duplicates",
+                   "business cost"});
+  table.AddRowValues(
+      "unweighted (count errors)", fm_plain, md_plain,
+      FormatDouble(static_cast<double>(fm_plain) * kFalseMatchCost +
+                       static_cast<double>(md_plain) * kMissedDuplicateCost,
+                   6));
+  table.AddRowValues(
+      "weighted (Theorem 4)", fm_cost, md_cost,
+      FormatDouble(static_cast<double>(fm_cost) * kFalseMatchCost +
+                       static_cast<double>(md_cost) * kMissedDuplicateCost,
+                   6));
+  table.Print(std::cout);
+
+  std::cout << "\nThe cost-aware optimum trades extra missed duplicates for "
+               "fewer catastrophic false matches.\n";
+  std::cout << "cost-aware rule: " << cost_aware.classifier.ToString()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// monoclass_cli -- command-line front end for the library.
+//
+//   monoclass_cli stats <labeled.csv>
+//       dataset summary: n, d, dominance width, contending count, k*.
+//   monoclass_cli solve-passive <labeled.csv> [--out model.txt]
+//       exact optimum (Theorem 4); prints metrics, optionally saves the
+//       classifier.
+//   monoclass_cli solve-active <labeled.csv> --epsilon E [--delta D]
+//       [--seed S] [--out model.txt]
+//       treats the CSV labels as a probe oracle and runs the Theorem 2
+//       algorithm; prints probes paid and achieved error.
+//   monoclass_cli classify <model.txt> <labeled.csv>
+//       applies a saved classifier; prints the confusion matrix.
+//
+// CSV format: x1,...,xd,label per line ('#' comments allowed); see
+// io/serialization.h.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "active/multi_d.h"
+#include "active/oracle.h"
+#include "core/antichain.h"
+#include "core/metrics.h"
+#include "io/serialization.h"
+#include "passive/contending.h"
+#include "passive/flow_solver.h"
+
+namespace {
+
+using namespace monoclass;
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+      << "  monoclass_cli stats <labeled.csv>\n"
+      << "  monoclass_cli solve-passive <labeled.csv> [--out model.txt]\n"
+      << "  monoclass_cli solve-active <labeled.csv> --epsilon E"
+         " [--delta D] [--seed S] [--out model.txt]\n"
+      << "  monoclass_cli classify <model.txt> <labeled.csv>\n";
+  return 2;
+}
+
+std::optional<LabeledPointSet> LoadOrComplain(const std::string& path) {
+  std::string error;
+  auto set = ReadLabeledCsvFile(path, &error);
+  if (!set.has_value()) {
+    std::cerr << "error reading " << path << ": " << error << "\n";
+  } else if (set->empty()) {
+    std::cerr << "error: " << path << " contains no points\n";
+    return std::nullopt;
+  }
+  return set;
+}
+
+// Fetches the value following `flag` in args, or `fallback`.
+std::string FlagValue(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+int RunStats(const std::string& path) {
+  const auto set = LoadOrComplain(path);
+  if (!set.has_value()) return 1;
+  std::cout << "points:        " << set->size() << "\n";
+  std::cout << "dimension:     " << set->dimension() << "\n";
+  std::cout << "positives:     " << set->CountPositive() << "\n";
+  std::cout << "width w:       " << DominanceWidth(set->points()) << "\n";
+  std::cout << "contending:    "
+            << ComputeContending(set->points(), set->labels())
+                   .contending.size()
+            << "\n";
+  std::cout << "optimal k*:    " << OptimalError(*set) << "\n";
+  return 0;
+}
+
+int RunSolvePassive(int argc, char** argv, const std::string& path) {
+  const auto set = LoadOrComplain(path);
+  if (!set.has_value()) return 1;
+  const PassiveSolveResult result = SolvePassiveUnweighted(*set);
+  std::cout << "optimal error k* = " << result.optimal_weighted_error
+            << "\n";
+  std::cout << EvaluateClassifier(result.classifier, *set).ToString()
+            << "\n";
+  const std::string out = FlagValue(argc, argv, "--out", "");
+  if (!out.empty()) {
+    if (!WriteClassifierFile(result.classifier, out)) {
+      std::cerr << "error: cannot write " << out << "\n";
+      return 1;
+    }
+    std::cout << "classifier written to " << out << "\n";
+  }
+  return 0;
+}
+
+int RunSolveActive(int argc, char** argv, const std::string& path) {
+  if (!HasFlag(argc, argv, "--epsilon")) {
+    std::cerr << "error: solve-active requires --epsilon\n";
+    return 2;
+  }
+  const auto set = LoadOrComplain(path);
+  if (!set.has_value()) return 1;
+  const double epsilon =
+      std::atof(FlagValue(argc, argv, "--epsilon", "0.5").c_str());
+  const double delta =
+      std::atof(FlagValue(argc, argv, "--delta", "0.05").c_str());
+  const auto seed = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "--seed", "1").c_str()));
+  if (epsilon <= 0.0 || epsilon > 1.0 || delta <= 0.0 || delta >= 1.0) {
+    std::cerr << "error: need 0 < epsilon <= 1 and 0 < delta < 1\n";
+    return 2;
+  }
+
+  InMemoryOracle oracle(*set);
+  ActiveSolveOptions options;
+  options.sampling = ActiveSamplingParams::Practical(epsilon, delta);
+  options.seed = seed;
+  const ActiveSolveResult result =
+      SolveActiveMultiD(set->points(), oracle, options);
+
+  std::cout << "width w        = " << result.num_chains << "\n";
+  std::cout << "probes paid    = " << result.probes << " / " << set->size()
+            << "\n";
+  std::cout << "achieved error = " << CountErrors(result.classifier, *set)
+            << "\n";
+  std::cout << EvaluateClassifier(result.classifier, *set).ToString()
+            << "\n";
+  const std::string out = FlagValue(argc, argv, "--out", "");
+  if (!out.empty()) {
+    if (!WriteClassifierFile(result.classifier, out)) {
+      std::cerr << "error: cannot write " << out << "\n";
+      return 1;
+    }
+    std::cout << "classifier written to " << out << "\n";
+  }
+  return 0;
+}
+
+int RunClassify(const std::string& model_path, const std::string& data_path) {
+  std::string error;
+  const auto classifier = ReadClassifierFile(model_path, &error);
+  if (!classifier.has_value()) {
+    std::cerr << "error reading " << model_path << ": " << error << "\n";
+    return 1;
+  }
+  const auto set = LoadOrComplain(data_path);
+  if (!set.has_value()) return 1;
+  if (set->dimension() != classifier->dimension()) {
+    std::cerr << "error: model dimension " << classifier->dimension()
+              << " != data dimension " << set->dimension() << "\n";
+    return 1;
+  }
+  std::cout << EvaluateClassifier(*classifier, *set).ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command == "stats") return RunStats(argv[2]);
+  if (command == "solve-passive") return RunSolvePassive(argc, argv, argv[2]);
+  if (command == "solve-active") return RunSolveActive(argc, argv, argv[2]);
+  if (command == "classify") {
+    if (argc < 4) return Usage();
+    return RunClassify(argv[2], argv[3]);
+  }
+  return Usage();
+}

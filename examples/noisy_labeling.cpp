@@ -1,0 +1,58 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// What happens when the labeler itself is unreliable? Crowd workers and
+// tired reviewers flip a few percent of their match judgments. This
+// example runs the active algorithm against a NoisyOracle and shows the
+// learned rule's quality *against the truth* as the flip rate grows --
+// the sampling-based estimates of Theorem 2 absorb labeler noise the
+// same way they absorb data noise (full measurements: bench_noisy_oracle).
+//
+// Build & run:  ./build/examples/noisy_labeling
+
+#include <iostream>
+
+#include "active/multi_d.h"
+#include "active/oracle.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "passive/flow_solver.h"
+#include "util/table.h"
+
+int main() {
+  using namespace monoclass;
+
+  ChainInstanceOptions data;
+  data.num_chains = 5;
+  data.chain_length = 3000;
+  data.noise_per_chain = 30;
+  data.seed = 11;
+  const ChainInstance instance = GenerateChainInstance(data);
+  const size_t clean_optimum = OptimalError(instance.data);
+  std::cout << "n = " << instance.data.size()
+            << ", best possible error with a perfect labeler: "
+            << clean_optimum << "\n\n";
+
+  TextTable table({"labeler flip rate", "answers flipped",
+                   "labels probed", "true errors of learned rule",
+                   "vs clean optimum"});
+  for (const double flip_rate : {0.0, 0.03, 0.08, 0.15}) {
+    NoisyOracle labeler(instance.data, flip_rate, 2026);
+    ActiveSolveOptions options;
+    options.sampling = ActiveSamplingParams::Practical(0.5, 0.05);
+    options.seed = 4;
+    options.precomputed_chains = instance.chains;
+    const ActiveSolveResult result =
+        SolveActiveMultiD(instance.data.points(), labeler, options);
+    const size_t errors = CountErrors(result.classifier, instance.data);
+    table.AddRowValues(
+        flip_rate, labeler.NumLies(), result.probes, errors,
+        FormatDouble(static_cast<double>(errors) /
+                         static_cast<double>(clean_optimum),
+                     4));
+  }
+  table.Print(std::cout);
+  std::cout << "\nEven with 15% of answers flipped, the weighted-sample "
+               "estimates keep the learned rule near the clean optimum.\n";
+  return 0;
+}

@@ -1,0 +1,267 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "active/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "passive/flow_solver.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+// Builds a monotone classifier from per-chain threshold positions:
+// position r of chain i is assigned 1 iff r >= threshold[i]. The product
+// of chain thresholds is not necessarily monotone *across* chains, so the
+// assignment is repaired upward: the classifier is the upward closure of
+// the assigned-1 points (every assigned-1 point stays 1; some assigned-0
+// points may flip to 1). This mirrors how [25]-style per-chain results are
+// turned into a classifier on R^d.
+MonotoneClassifier ClassifierFromChainThresholds(
+    const PointSet& points, const ChainDecomposition& decomposition,
+    const std::vector<size_t>& thresholds) {
+  std::vector<Point> positives;
+  for (size_t i = 0; i < decomposition.chains.size(); ++i) {
+    const auto& chain = decomposition.chains[i];
+    if (thresholds[i] < chain.size()) {
+      // The minimal positive point of the chain generates the rest.
+      positives.push_back(points[chain[thresholds[i]]]);
+    }
+  }
+  return MonotoneClassifier::FromGenerators(std::move(positives),
+                                            points.dimension());
+}
+
+// Exact best threshold for a chain given (position, label) observations:
+// minimizes #(pos >= t with label 0) + #(pos < t with label 1) over
+// t in [0, chain_size].
+size_t BestThresholdOnObservations(
+    std::vector<std::pair<size_t, Label>> observations, size_t chain_size) {
+  std::sort(observations.begin(), observations.end());
+  size_t ones_below = 0;
+  size_t zeros_at_or_above = 0;
+  for (const auto& [pos, label] : observations) {
+    if (label == 0) ++zeros_at_or_above;
+  }
+  size_t best_threshold = 0;
+  size_t best_error = ones_below + zeros_at_or_above;  // t = 0: all 1
+  size_t i = 0;
+  for (size_t t = 1; t <= chain_size; ++t) {
+    while (i < observations.size() && observations[i].first < t) {
+      if (observations[i].second == 1) {
+        ++ones_below;
+      } else {
+        --zeros_at_or_above;
+      }
+      ++i;
+    }
+    const size_t error = ones_below + zeros_at_or_above;
+    if (error < best_error) {
+      best_error = error;
+      best_threshold = t;
+    }
+  }
+  return best_threshold;
+}
+
+ChainDecomposition ResolveChains(
+    const PointSet& points,
+    const std::optional<ChainDecomposition>& precomputed) {
+  if (precomputed.has_value()) {
+    MC_CHECK(ValidateChainDecomposition(points, *precomputed));
+    return *precomputed;
+  }
+  return MinimumChainDecomposition(points);
+}
+
+}  // namespace
+
+BaselineResult SolveProbeAll(const PointSet& points, LabelOracle& oracle) {
+  MC_CHECK(!points.empty());
+  MC_CHECK_EQ(points.size(), oracle.NumPoints());
+  const size_t probes_before = oracle.NumProbes();
+  std::vector<Label> labels(points.size());
+  for (size_t i = 0; i < points.size(); ++i) labels[i] = oracle.Probe(i);
+  const LabeledPointSet revealed(points, std::move(labels));
+  BaselineResult result{
+      .classifier = SolvePassiveUnweighted(revealed).classifier};
+  result.probes = oracle.NumProbes() - probes_before;
+  result.num_chains = 0;  // no decomposition involved
+  return result;
+}
+
+BaselineResult SolveTao18(const PointSet& points, LabelOracle& oracle,
+                          const Tao18Options& options) {
+  MC_CHECK(!points.empty());
+  MC_CHECK_EQ(points.size(), oracle.NumPoints());
+  MC_CHECK_GE(options.repetitions, 1u);
+  const size_t probes_before = oracle.NumProbes();
+  const ChainDecomposition decomposition =
+      ResolveChains(points, options.precomputed_chains);
+  Rng rng(options.seed);
+
+  std::vector<size_t> thresholds(decomposition.chains.size(), 0);
+  for (size_t i = 0; i < decomposition.chains.size(); ++i) {
+    const auto& chain = decomposition.chains[i];
+    const size_t m = chain.size();
+    // Label-trusting randomized binary search(es): a probed 1 moves the
+    // boundary down, a probed 0 moves it up. O(log m) probes each.
+    std::vector<std::pair<size_t, Label>> observations;
+    for (size_t rep = 0; rep < options.repetitions; ++rep) {
+      size_t lo = 0;
+      size_t hi = m;  // boundary in [lo, hi]
+      while (lo < hi) {
+        const size_t pivot =
+            lo + static_cast<size_t>(rng.UniformInt(hi - lo));
+        const Label label = oracle.Probe(chain[pivot]);
+        observations.emplace_back(pivot, label);
+        if (label == 1) {
+          hi = pivot;
+        } else {
+          lo = pivot + 1;
+        }
+      }
+    }
+    thresholds[i] = BestThresholdOnObservations(std::move(observations), m);
+  }
+
+  BaselineResult result{.classifier = ClassifierFromChainThresholds(
+                            points, decomposition, thresholds)};
+  result.probes = oracle.NumProbes() - probes_before;
+  result.num_chains = decomposition.NumChains();
+  return result;
+}
+
+BaselineResult SolveASquared(const PointSet& points, LabelOracle& oracle,
+                             const ASquaredOptions& options) {
+  MC_CHECK(!points.empty());
+  MC_CHECK_EQ(points.size(), oracle.NumPoints());
+  MC_CHECK_GT(options.epsilon, 0.0);
+  MC_CHECK_GT(options.delta, 0.0);
+  const size_t probes_before = oracle.NumProbes();
+  const ChainDecomposition decomposition =
+      ResolveChains(points, options.precomputed_chains);
+  const size_t w = decomposition.NumChains();
+  const double n = static_cast<double>(points.size());
+  Rng rng(options.seed);
+
+  // Version space: per-chain alive-threshold intervals [lo_i, hi_i].
+  std::vector<size_t> lo(w, 0);
+  std::vector<size_t> hi(w);
+  for (size_t i = 0; i < w; ++i) hi[i] = decomposition.chains[i].size();
+
+  // All observations ever made, per chain (position, label).
+  std::vector<std::vector<std::pair<size_t, Label>>> observations(w);
+
+  // log-cardinality of the product version space: VC dimension Theta(w),
+  // log |H| ~ w log(n/w). This *global* w factor in every uniform
+  // convergence bound is exactly why A^2 pays ~w^2 overall where the
+  // chain-local Theorem 2 algorithm pays ~w: its per-epoch sample bill
+  // cannot be split across chains.
+  const double log_card =
+      static_cast<double>(w) *
+          std::log2(n / static_cast<double>(w) + 2.0) +
+      std::log(static_cast<double>(options.max_epochs) / options.delta);
+  // Epoch sample sizes double until the Hoeffding deviation is small
+  // enough to eliminate hypotheses (the standard A^2 schedule).
+  size_t epoch_samples = static_cast<size_t>(std::max(
+      8.0, std::ceil(options.sample_constant * log_card /
+                     (options.epsilon * options.epsilon))));
+
+  for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    // Disagreement region: positions where alive thresholds disagree.
+    std::vector<std::pair<size_t, size_t>> region;  // (chain, position)
+    for (size_t i = 0; i < w; ++i) {
+      for (size_t pos = lo[i]; pos < hi[i]; ++pos) {
+        region.emplace_back(i, pos);
+      }
+    }
+    if (region.empty()) break;
+    if (region.size() <= epoch_samples) {
+      // Endgame: cheaper to resolve the remaining region exactly.
+      for (const auto& [i, pos] : region) {
+        observations[i].emplace_back(
+            pos, oracle.Probe(decomposition.chains[i][pos]));
+      }
+      break;
+    }
+
+    // Sample the region uniformly with replacement.
+    std::vector<std::vector<std::pair<size_t, Label>>> epoch_obs(w);
+    for (size_t s = 0; s < epoch_samples; ++s) {
+      const auto& [i, pos] =
+          region[static_cast<size_t>(rng.UniformInt(region.size()))];
+      const Label label = oracle.Probe(decomposition.chains[i][pos]);
+      epoch_obs[i].emplace_back(pos, label);
+      observations[i].emplace_back(pos, label);
+    }
+
+    // Hoeffding elimination: drop threshold t of chain i when its
+    // empirical error (over this epoch's region samples) exceeds the
+    // chain minimum by more than twice the deviation bound. Counts are in
+    // region-mass units: scale = |D| / samples.
+    const double deviation =
+        static_cast<double>(region.size()) *
+        std::sqrt(log_card / (2.0 * static_cast<double>(epoch_samples)));
+    const double scale = static_cast<double>(region.size()) /
+                         static_cast<double>(epoch_samples);
+    for (size_t i = 0; i < w; ++i) {
+      if (epoch_obs[i].empty() || lo[i] >= hi[i]) continue;
+      auto obs = epoch_obs[i];
+      std::sort(obs.begin(), obs.end());
+      // err_i(t) over the epoch observations for t in [lo, hi].
+      std::vector<double> err(hi[i] - lo[i] + 1, 0.0);
+      size_t ones_below = 0;
+      size_t zeros_at_or_above = 0;
+      for (const auto& [pos, label] : obs) {
+        if (label == 0) ++zeros_at_or_above;
+      }
+      size_t oi = 0;
+      double min_err = std::numeric_limits<double>::infinity();
+      for (size_t t = lo[i]; t <= hi[i]; ++t) {
+        while (oi < obs.size() && obs[oi].first < t) {
+          if (obs[oi].second == 1) {
+            ++ones_below;
+          } else {
+            --zeros_at_or_above;
+          }
+          ++oi;
+        }
+        err[t - lo[i]] =
+            scale * static_cast<double>(ones_below + zeros_at_or_above);
+        min_err = std::min(min_err, err[t - lo[i]]);
+      }
+      // Shrink the alive interval to the hull of surviving thresholds.
+      size_t new_lo = hi[i];
+      size_t new_hi = lo[i];
+      for (size_t t = lo[i]; t <= hi[i]; ++t) {
+        if (err[t - lo[i]] <= min_err + 2.0 * deviation) {
+          new_lo = std::min(new_lo, t);
+          new_hi = std::max(new_hi, t);
+        }
+      }
+      lo[i] = new_lo;
+      hi[i] = new_hi;
+    }
+    epoch_samples *= 2;  // tighten the bound until elimination bites
+  }
+
+  // Final hypothesis: per-chain empirical minimizer over everything probed.
+  std::vector<size_t> thresholds(w, 0);
+  for (size_t i = 0; i < w; ++i) {
+    thresholds[i] = BestThresholdOnObservations(
+        observations[i], decomposition.chains[i].size());
+  }
+  BaselineResult result{.classifier = ClassifierFromChainThresholds(
+                            points, decomposition, thresholds)};
+  result.probes = oracle.NumProbes() - probes_before;
+  result.num_chains = w;
+  return result;
+}
+
+}  // namespace monoclass

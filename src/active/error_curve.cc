@@ -1,0 +1,47 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "active/error_curve.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace monoclass {
+
+size_t ErrorCurve::MinError() const {
+  MC_CHECK(!errors.empty());
+  return *std::min_element(errors.begin(), errors.end());
+}
+
+ErrorCurve ComputeErrorCurve(std::vector<LabeledDraw> draws) {
+  std::sort(draws.begin(), draws.end(),
+            [](const LabeledDraw& a, const LabeledDraw& b) {
+              return a.coordinate < b.coordinate;
+            });
+  size_t ones_below = 0;   // label-1 draws with coordinate <= tau
+  size_t zeros_above = 0;  // label-0 draws with coordinate > tau
+  for (const LabeledDraw& draw : draws) {
+    if (draw.label == 0) ++zeros_above;
+  }
+  ErrorCurve curve;
+  curve.taus.push_back(-std::numeric_limits<double>::infinity());
+  curve.errors.push_back(ones_below + zeros_above);
+  size_t i = 0;
+  while (i < draws.size()) {
+    const double tau = draws[i].coordinate;
+    // All draws at one coordinate move across the threshold together.
+    while (i < draws.size() && draws[i].coordinate == tau) {
+      if (draws[i].label == 1) {
+        ++ones_below;
+      } else {
+        --zeros_above;
+      }
+      ++i;
+    }
+    curve.taus.push_back(tau);
+    curve.errors.push_back(ones_below + zeros_above);
+  }
+  return curve;
+}
+
+}  // namespace monoclass

@@ -1,0 +1,46 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The threshold error curve of a labeled 1D sample: the step function
+// tau -> err_S(h^tau) evaluated at its breakpoints. This is the object
+// the Section 3 framework calls g1 (up to the |P|/|S| scale factor); it
+// is exposed as its own component so tests can pin down the exact
+// tie-handling and breakpoint semantics that the recursion's alpha/beta
+// computation relies on.
+
+#ifndef MONOCLASS_ACTIVE_ERROR_CURVE_H_
+#define MONOCLASS_ACTIVE_ERROR_CURVE_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// One labeled observation of a with-replacement sample (draws may repeat
+// the same underlying point; each draw counts separately).
+struct LabeledDraw {
+  double coordinate = 0.0;
+  Label label = 0;
+};
+
+// err_S(h^tau) for every candidate tau in {-inf} union {distinct draw
+// coordinates}, as parallel arrays. Candidate k >= 1 represents the
+// constant piece [taus[k], taus[k+1]) of the step function; candidate 0
+// (tau = -inf) represents (-inf, taus[1]). h^tau classifies p as 1 iff
+// p > tau, so err counts label-1 draws <= tau plus label-0 draws > tau.
+struct ErrorCurve {
+  std::vector<double> taus;    // taus[0] = -infinity
+  std::vector<size_t> errors;  // errors[k] = err_S(h^{taus[k]})
+
+  size_t NumCandidates() const { return taus.size(); }
+  // Smallest error over all candidates (the sample optimum).
+  size_t MinError() const;
+};
+
+// Builds the curve in O(|draws| log |draws|).
+ErrorCurve ComputeErrorCurve(std::vector<LabeledDraw> draws);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_ACTIVE_ERROR_CURVE_H_

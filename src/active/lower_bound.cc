@@ -1,0 +1,90 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "active/lower_bound.h"
+
+#include <algorithm>
+
+#include "core/classifier.h"
+
+namespace monoclass {
+
+LabeledPointSet LowerBoundInput(size_t n, size_t anomaly_pair, bool is_11) {
+  MC_CHECK_GE(n, 2u);
+  MC_CHECK_EQ(n % 2, 0u) << "the family is defined for even n";
+  MC_CHECK_GE(anomaly_pair, 1u);
+  MC_CHECK_LE(anomaly_pair, n / 2);
+  LabeledPointSet set;
+  for (size_t value = 1; value <= n; ++value) {
+    Label label = (value % 2 == 1) ? 1 : 0;  // default: odd 1, even 0
+    const size_t pair = (value + 1) / 2;
+    if (pair == anomaly_pair) label = is_11 ? 1 : 0;
+    set.Add(Point{static_cast<double>(value)}, label);
+  }
+  return set;
+}
+
+size_t LowerBoundOptimalError(size_t n) {
+  MC_CHECK_GE(n, 2u);
+  return n / 2 - 1;
+}
+
+FamilyRunStats EvaluateStrategy(size_t n,
+                                const DeterministicPairStrategy& strategy) {
+  MC_CHECK_GE(n, 4u);
+  MC_CHECK_EQ(n % 2, 0u);
+  const size_t num_pairs = n / 2;
+  const size_t optimal = LowerBoundOptimalError(n);
+
+  // first_probe_position[pair] = 1-based position of the pair in the probe
+  // order, or 0 when never probed. Duplicate entries count at their first
+  // occurrence.
+  std::vector<size_t> first_probe_position(num_pairs + 1, 0);
+  size_t distinct = 0;
+  for (size_t j = 0; j < strategy.pair_order.size(); ++j) {
+    const size_t pair = strategy.pair_order[j];
+    MC_CHECK_GE(pair, 1u);
+    MC_CHECK_LE(pair, num_pairs);
+    if (first_probe_position[pair] == 0) {
+      first_probe_position[pair] = ++distinct;
+    }
+  }
+
+  const MonotoneClassifier fallback =
+      MonotoneClassifier::Threshold1D(strategy.fallback_tau);
+
+  FamilyRunStats stats;
+  for (size_t pair = 1; pair <= num_pairs; ++pair) {
+    for (const bool is_11 : {false, true}) {
+      const LabeledPointSet input = LowerBoundInput(n, pair, is_11);
+      const size_t position = first_probe_position[pair];
+      if (position > 0) {
+        // The strategy catches the anomaly at its `position`-th probe and
+        // then outputs an optimal classifier (all-1 for a 11-input, all-0
+        // for a 00-input) with certainty.
+        stats.totalcost += position;
+      } else {
+        // Never probes the anomaly: pays the full order and emits the
+        // fixed fallback classifier.
+        stats.totalcost += distinct;
+        if (CountErrors(fallback, input) > optimal) ++stats.nonoptcnt;
+      }
+    }
+  }
+  return stats;
+}
+
+size_t PredictedTotalCost(size_t n, size_t num_probed_pairs) {
+  const size_t l = num_probed_pairs;
+  MC_CHECK_LE(l, n / 2);
+  // 2 * sum_{j=1..l} j + 2 * l * (n/2 - l) = l(l+1) + nl - 2l^2
+  //                                        = n*l - l^2 + l.
+  return n * l - l * l + l;
+}
+
+size_t PredictedNonOptLowerBound(size_t n, size_t num_probed_pairs) {
+  const size_t l = num_probed_pairs;
+  return (l >= n / 2) ? 0 : n / 2 - l;
+}
+
+}  // namespace monoclass

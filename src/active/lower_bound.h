@@ -1,0 +1,65 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The Omega(n) lower-bound construction of paper Section 6 (Theorem 1),
+// made executable.
+//
+// The adversarial family P over points {1..n} (n even): by default odd
+// points carry label 1 and even points label 0, forming n/2 "normal pairs"
+// (2i-1, 2i) with labels (1, 0). Each input flips exactly one pair into an
+// anomaly: P00(i) gives pair i labels (0, 0); P11(i) gives it (1, 1).
+// Every input's optimal error is n/2 - 1, and no single classifier is
+// optimal for both P00(i) and P11(i) (Lemma 21).
+//
+// Against this family the paper analyzes "empowered" deterministic
+// algorithms: the algorithm knows the family, probing one point of a pair
+// reveals both labels for free, it stops the moment it sees an anomaly
+// (it then knows the whole input), and otherwise probes pairs in a fixed
+// order x_1..x_l before emitting a fixed classifier. EvaluateStrategy
+// simulates that model over all n inputs exactly, reproducing Lemma 19's
+// accuracy/cost trade-off:
+//     nonoptcnt >= n/2 - l,     totalcost = n*l - l^2 + l.
+// (The paper's eq. (34) simplifies its own sum to n*l - l^2 - l; the
+// arithmetic gives +l -- 2*sum_{j<=l} j = l(l+1) -- and the simulation
+// confirms +l. The Omega(n^2) conclusion is unaffected.)
+
+#ifndef MONOCLASS_ACTIVE_LOWER_BOUND_H_
+#define MONOCLASS_ACTIVE_LOWER_BOUND_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// One member of the adversarial family: points {1..n} in 1D.
+// `anomaly_pair` is 1-based in [1, n/2]; `is_11` selects P11 vs P00.
+LabeledPointSet LowerBoundInput(size_t n, size_t anomaly_pair, bool is_11);
+
+// The optimal error on every family member: n/2 - 1.
+size_t LowerBoundOptimalError(size_t n);
+
+// An empowered deterministic strategy: probe pairs in this order (1-based
+// pair ids), stop on the first anomaly; if none found, output the
+// threshold classifier h^tau with the given parameter.
+struct DeterministicPairStrategy {
+  std::vector<size_t> pair_order;
+  double fallback_tau = 0.0;
+};
+
+struct FamilyRunStats {
+  size_t nonoptcnt = 0;  // inputs where the output classifier is non-optimal
+  size_t totalcost = 0;  // total pairs probed across all n inputs
+};
+
+// Simulates the strategy on all n inputs of the family.
+FamilyRunStats EvaluateStrategy(size_t n,
+                                const DeterministicPairStrategy& strategy);
+
+// Lemma 19's closed forms for a strategy probing l distinct pairs.
+size_t PredictedTotalCost(size_t n, size_t num_probed_pairs);
+size_t PredictedNonOptLowerBound(size_t n, size_t num_probed_pairs);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_ACTIVE_LOWER_BOUND_H_

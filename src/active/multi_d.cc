@@ -1,0 +1,71 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "active/multi_d.h"
+
+#include <utility>
+
+#include "active/one_d.h"
+#include "core/chain_decomposition_2d.h"
+
+namespace monoclass {
+
+ActiveSolveResult SolveActiveMultiD(const PointSet& points,
+                                    LabelOracle& oracle,
+                                    const ActiveSolveOptions& options) {
+  MC_CHECK(!points.empty());
+  MC_CHECK_EQ(points.size(), oracle.NumPoints());
+  options.sampling.Validate();
+  const size_t probes_before = oracle.NumProbes();
+
+  // Step 1: chain decomposition.
+  ChainDecomposition decomposition;
+  if (options.precomputed_chains.has_value()) {
+    decomposition = *options.precomputed_chains;
+    MC_CHECK(ValidateChainDecomposition(points, decomposition))
+        << "precomputed_chains is not a valid decomposition of the input";
+  } else if (options.use_greedy_chains) {
+    decomposition = GreedyChainDecomposition(points);
+  } else if (options.use_fast_2d_chains && points.dimension() == 2) {
+    decomposition = MinimumChainDecomposition2D(points);
+  } else {
+    decomposition = MinimumChainDecomposition(points);
+  }
+
+  ActiveSolveResult result{
+      .classifier = MonotoneClassifier::AlwaysZero(points.dimension())};
+  result.num_chains = decomposition.NumChains();
+
+  // Step 2: the 1D algorithm per chain. Each chain gets an independent RNG
+  // stream and an equal share delta/w of the failure budget.
+  ActiveSamplingParams chain_params = options.sampling;
+  chain_params.delta =
+      options.sampling.delta / static_cast<double>(decomposition.NumChains());
+  Rng root_rng(options.seed);
+  for (const auto& chain : decomposition.chains) {
+    std::vector<double> coordinates(chain.size());
+    for (size_t r = 0; r < chain.size(); ++r) {
+      coordinates[r] = static_cast<double>(r);  // rank along the chain
+    }
+    Rng chain_rng = root_rng.Fork();
+    OneDSolveResult chain_result =
+        SolveActive1D(chain, coordinates, oracle, chain_params, chain_rng);
+    result.total_levels += chain_result.levels;
+    result.full_probe_levels += chain_result.full_probe_levels;
+    for (const WeightedSampleEntry& entry : chain_result.sigma) {
+      result.sigma.Add(points[entry.point_index], entry.label, entry.weight);
+    }
+  }
+
+  // Step 3: passive weighted solve on Sigma (Theorem 3 reduction). The
+  // flow solver returns the classifier minimizing w-err_Sigma, which by
+  // Lemma 14 is (1+eps)-approximate on P with high probability.
+  const PassiveSolveResult passive =
+      SolvePassiveWeighted(result.sigma, options.passive);
+  result.classifier = passive.classifier;
+  result.sigma_error = passive.optimal_weighted_error;
+  result.probes = oracle.NumProbes() - probes_before;
+  return result;
+}
+
+}  // namespace monoclass

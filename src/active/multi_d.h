@@ -1,0 +1,77 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Active monotone classification in R^d (paper Section 4, Theorems 2-3).
+//
+// Pipeline:
+//   1. compute a minimum chain decomposition C_1..C_w (Lemma 6);
+//   2. run the Section 3 1D algorithm on each chain -- a chain sorted by
+//      dominance is a 1D instance with coordinate = rank, because every
+//      monotone classifier maps a prefix of the chain to 0 and the rest
+//      to 1 -- obtaining a fully-labeled weighted sample Sigma_i;
+//   3. Sigma = union Sigma_i; find the classifier minimizing
+//      w-err_Sigma by solving passive weighted classification on Sigma
+//      with the Theorem 4 flow solver (the Theorem 3 reduction).
+//
+// With probability >= 1 - delta the result's error on P is at most
+// (1 + eps) k*. Probes: O((w/eps^2) log n log(n/w)).
+
+#ifndef MONOCLASS_ACTIVE_MULTI_D_H_
+#define MONOCLASS_ACTIVE_MULTI_D_H_
+
+#include <optional>
+
+#include "active/oracle.h"
+#include "active/params.h"
+#include "core/chain_decomposition.h"
+#include "core/classifier.h"
+#include "core/dataset.h"
+#include "passive/flow_solver.h"
+
+namespace monoclass {
+
+struct ActiveSolveOptions {
+  ActiveSamplingParams sampling = ActiveSamplingParams::Practical(0.5, 0.01);
+  // Deterministic seed for the sampling; every run is reproducible.
+  uint64_t seed = 1;
+  // Ablation: replace the Lemma 6 minimum decomposition with the greedy
+  // one (more chains -> more probes; see bench_active_probes).
+  bool use_greedy_chains = false;
+  // For 2D inputs, use the O(n log n) patience decomposition
+  // (core/chain_decomposition_2d.h) instead of the O(dn^2 + n^2.5)
+  // Lemma 6 path; identical chain count, much faster at scale. Ignored
+  // when d != 2 or when use_greedy_chains / precomputed_chains apply.
+  bool use_fast_2d_chains = false;
+  // Override the decomposition entirely (used by large-scale benches where
+  // the workload generator already knows the chains, skipping the
+  // O(d n^2 + n^2.5) Lemma 6 step). Must be a valid decomposition of the
+  // input points.
+  std::optional<ChainDecomposition> precomputed_chains;
+  // Options for the final passive solve on Sigma.
+  PassiveSolveOptions passive;
+};
+
+struct ActiveSolveResult {
+  MonotoneClassifier classifier;
+  // Probing cost: distinct points revealed.
+  size_t probes = 0;
+  // Number of chains used (= the dominance width w for the Lemma 6 path).
+  size_t num_chains = 0;
+  // The union Sigma of the per-chain weighted samples.
+  WeightedPointSet sigma;
+  // min_h w-err_Sigma(h) achieved by the returned classifier.
+  double sigma_error = 0.0;
+  // Diagnostics aggregated over chains.
+  size_t total_levels = 0;
+  size_t full_probe_levels = 0;
+};
+
+// Solves Problem 1 on the points behind `oracle`. `points` supplies the
+// visible coordinates; `oracle` must index the same array.
+ActiveSolveResult SolveActiveMultiD(const PointSet& points,
+                                    LabelOracle& oracle,
+                                    const ActiveSolveOptions& options = {});
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_ACTIVE_MULTI_D_H_

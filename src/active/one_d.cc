@@ -1,0 +1,210 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "active/one_d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "active/error_curve.h"
+#include "active/estimator.h"
+#include "passive/isotonic_1d.h"
+
+namespace monoclass {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class OneDSolver {
+ public:
+  OneDSolver(const std::vector<size_t>& point_indices,
+             const std::vector<double>& coordinates, LabelOracle& oracle,
+             const ActiveSamplingParams& params, Rng& rng)
+      : point_indices_(point_indices),
+        coordinates_(coordinates),
+        oracle_(oracle),
+        params_(params),
+        rng_(rng) {
+    MC_CHECK_EQ(point_indices.size(), coordinates.size());
+    MC_CHECK(!point_indices.empty());
+    params.Validate();
+    // Lemma 10 shrinks each level to <= 5/8 of the previous, so the
+    // recursion depth is bounded by log_{8/5} n (+1 for the base level).
+    const double n = static_cast<double>(coordinates.size());
+    level_bound_ = static_cast<size_t>(
+                       std::ceil(std::log(std::max(n, 2.0)) /
+                                 std::log(8.0 / 5.0))) +
+                   1;
+  }
+
+  OneDSolveResult Run() {
+    std::vector<size_t> all(coordinates_.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    SolveLevels(std::move(all));
+
+    // Final selection: the threshold minimizing w-err over Sigma
+    // (Lemma 13 equates that with minimizing f, which by the
+    // eps-comparison property is (1+eps)-optimal on P).
+    std::vector<Weighted1DPoint> weighted(result_.sigma.size());
+    for (size_t i = 0; i < result_.sigma.size(); ++i) {
+      const WeightedSampleEntry& entry = result_.sigma[i];
+      weighted[i] = Weighted1DPoint{entry.coordinate, entry.label,
+                                    entry.weight};
+    }
+    const Threshold1DResult best = Solve1DWeighted(weighted);
+    result_.tau = best.tau;
+    result_.sigma_error = best.optimal_weighted_error;
+    return std::move(result_);
+  }
+
+ private:
+  // Probes every position of the level and appends weight-1 entries
+  // (the |P| <= 7 base case and the "sample size >= level size" fallback;
+  // both make the level's contribution to f exact).
+  void ProbeEntireLevel(const std::vector<size_t>& level) {
+    for (const size_t pos : level) {
+      AppendEntry(pos, 1.0);
+    }
+  }
+
+  void AppendEntry(size_t pos, double weight) {
+    const Label label = oracle_.Probe(point_indices_[pos]);
+    result_.sigma.push_back(WeightedSampleEntry{
+        point_indices_[pos], coordinates_[pos], label, weight});
+  }
+
+  // Draws `count` positions with replacement from `level`, probing each.
+  std::vector<LabeledDraw> SampleLevel(const std::vector<size_t>& level,
+                                size_t count) {
+    std::vector<LabeledDraw> draws(count);
+    for (auto& draw : draws) {
+      const size_t pos =
+          level[static_cast<size_t>(rng_.UniformInt(level.size()))];
+      draw.coordinate = coordinates_[pos];
+      draw.label = oracle_.Probe(point_indices_[pos]);
+      last_sample_positions_.push_back(pos);
+    }
+    return draws;
+  }
+
+  // Per-classifier failure budget at one level: delta spread over 2 samples
+  // per level, level_bound_ levels, and |P|+1 effective classifiers.
+  double PerClassifierDelta(size_t level_size) const {
+    return params_.delta /
+           (2.0 * static_cast<double>(level_bound_) *
+            static_cast<double>(level_size + 1));
+  }
+
+  void SolveLevels(std::vector<size_t> level) {
+    while (true) {
+      const size_t m = level.size();
+      if (m == 0) return;
+      ++result_.levels;
+
+      const double phi = params_.epsilon * params_.phi_fraction;
+      const size_t sample_size = Lemma5SampleSize(
+          phi, PerClassifierDelta(m), 1.0, params_.chernoff_constant);
+
+      if (m <= params_.small_set_threshold || sample_size >= m) {
+        if (m > params_.small_set_threshold) ++result_.full_probe_levels;
+        ProbeEntireLevel(level);
+        return;
+      }
+
+      // --- g1: estimate err over the level from sample S1. ---
+      last_sample_positions_.clear();
+      std::vector<LabeledDraw> s1 = SampleLevel(level, sample_size);
+      const ErrorCurve curve = ComputeErrorCurve(std::move(s1));
+
+      // g1(h^tau) < m (1/4 - phi)  <=>  err_S1(h^tau) < t (1/4 - phi).
+      const double limit = static_cast<double>(sample_size) * (0.25 - phi);
+      size_t first_ok = curve.taus.size();
+      size_t last_ok = curve.taus.size();
+      for (size_t k = 0; k < curve.taus.size(); ++k) {
+        if (static_cast<double>(curve.errors[k]) < limit) {
+          if (first_ok == curve.taus.size()) first_ok = k;
+          last_ok = k;
+        }
+      }
+
+      if (first_ok == curve.taus.size()) {
+        // alpha/beta do not exist: f = g1 at this level; S1 joins Sigma
+        // with weight m/t (Section 3.5).
+        const double weight = static_cast<double>(m) /
+                              static_cast<double>(sample_size);
+        for (const size_t pos : last_sample_positions_) {
+          AppendEntry(pos, weight);
+        }
+        return;
+      }
+
+      // The hull [alpha, beta] of all qualifying tau. The step function is
+      // constant on [taus[k], taus[k+1]), so the hull's points are those
+      // with coordinate in [alpha, upper), alpha = -inf when the leftmost
+      // piece qualifies, upper = +inf when the rightmost piece does.
+      const double alpha = curve.taus[first_ok];  // -inf when first_ok == 0
+      const double upper = (last_ok + 1 < curve.taus.size())
+                               ? curve.taus[last_ok + 1]
+                               : kInf;
+
+      std::vector<size_t> inside;
+      std::vector<size_t> outside;
+      for (const size_t pos : level) {
+        const double c = coordinates_[pos];
+        if (c >= alpha && c < upper) {
+          inside.push_back(pos);
+        } else {
+          outside.push_back(pos);
+        }
+      }
+
+      // Lemma 10 guarantees |P'| <= (5/8) m when g1 met its accuracy bar.
+      // Under loose experiment presets the bar can fail; fall back to
+      // probing the whole level, which is always correct.
+      if (inside.size() > (5 * m) / 8 || outside.empty()) {
+        ++result_.full_probe_levels;
+        ProbeEntireLevel(level);
+        return;
+      }
+
+      // --- g2: estimate err over P \ P' from sample S2. ---
+      const size_t s2_size = Lemma5SampleSize(
+          phi, PerClassifierDelta(m), 1.0, params_.chernoff_constant);
+      if (s2_size >= outside.size()) {
+        // Exact g2: probe all of P \ P' with weight 1.
+        ProbeEntireLevel(outside);
+      } else {
+        last_sample_positions_.clear();
+        SampleLevel(outside, s2_size);
+        const double weight = static_cast<double>(outside.size()) /
+                              static_cast<double>(s2_size);
+        for (const size_t pos : last_sample_positions_) {
+          AppendEntry(pos, weight);
+        }
+      }
+
+      level = std::move(inside);  // recurse on P'
+    }
+  }
+
+  const std::vector<size_t>& point_indices_;
+  const std::vector<double>& coordinates_;
+  LabelOracle& oracle_;
+  const ActiveSamplingParams& params_;
+  Rng& rng_;
+  size_t level_bound_ = 1;
+  std::vector<size_t> last_sample_positions_;
+  OneDSolveResult result_;
+};
+
+}  // namespace
+
+OneDSolveResult SolveActive1D(const std::vector<size_t>& point_indices,
+                              const std::vector<double>& coordinates,
+                              LabelOracle& oracle,
+                              const ActiveSamplingParams& params, Rng& rng) {
+  return OneDSolver(point_indices, coordinates, oracle, params, rng).Run();
+}
+
+}  // namespace monoclass

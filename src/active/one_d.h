@@ -1,0 +1,71 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The recursive 1D active classification algorithm of paper Section 3
+// (Lemma 9), in its "weighted view" form (Section 3.5, Lemma 13): the
+// output is a fully-labeled weighted sample Sigma with
+// f(h^tau) = w-err_Sigma(h^tau), where f obeys the epsilon-comparison
+// property with probability >= 1 - delta. Minimizing w-err_Sigma then
+// yields a (1+eps)-approximate threshold.
+//
+// Per recursion level on a sub-multiset P (|P| = m):
+//   * m below the small-set threshold, or the sample size >= m: probe all
+//     of P; its exact errors join Sigma with weight 1 and recursion stops;
+//   * otherwise sample S1 (with replacement) and form the estimate
+//     g1(h^tau) = (m/|S1|) err_S1(h^tau); compute
+//       alpha = smallest tau with g1 < m(1/4 - phi),
+//       beta  = largest such tau
+//     over the extended reals; if no such tau exists, S1 (weight m/|S1|)
+//     joins Sigma and recursion stops;
+//   * else P' = P intersect [alpha, beta] must shrink (Lemma 10); sample S2
+//     from P \ P' (weight |P \ P'| / |S2|) into Sigma and recurse on P'.
+//
+// The module works on an abstract 1D view -- a coordinate array plus
+// global point indices -- so that Section 4 can feed it one chain at a
+// time (coordinate = rank along the chain).
+
+#ifndef MONOCLASS_ACTIVE_ONE_D_H_
+#define MONOCLASS_ACTIVE_ONE_D_H_
+
+#include <vector>
+
+#include "active/oracle.h"
+#include "active/params.h"
+#include "core/dataset.h"
+#include "util/random.h"
+
+namespace monoclass {
+
+// One element of the fully-labeled weighted sample Sigma.
+struct WeightedSampleEntry {
+  size_t point_index = 0;   // index into the *global* point set
+  double coordinate = 0.0;  // the point's 1D coordinate in this view
+  Label label = 0;          // revealed by the oracle
+  double weight = 1.0;      // |level| / |sample at that level|
+};
+
+struct OneDSolveResult {
+  // Sigma: union of the per-level weighted samples (Lemma 13).
+  std::vector<WeightedSampleEntry> sigma;
+  // tau minimizing w-err_sigma (the returned classifier h^tau).
+  double tau = 0.0;
+  // w-err_sigma(h^tau) at the minimum.
+  double sigma_error = 0.0;
+  // Recursion levels executed (h = O(log n) by Lemma 10).
+  size_t levels = 0;
+  // Levels that fell back to probing everything because the Lemma 5 sample
+  // size reached the level size (diagnostic; common under Paper constants).
+  size_t full_probe_levels = 0;
+};
+
+// Runs the Section 3 algorithm on the 1D view given by `coordinates`,
+// probing labels through `oracle` at the parallel `point_indices`.
+// Requirements: both arrays have equal nonzero length; params validated.
+OneDSolveResult SolveActive1D(const std::vector<size_t>& point_indices,
+                              const std::vector<double>& coordinates,
+                              LabelOracle& oracle,
+                              const ActiveSamplingParams& params, Rng& rng);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_ACTIVE_ONE_D_H_

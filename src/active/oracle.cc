@@ -1,0 +1,58 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "active/oracle.h"
+
+namespace monoclass {
+
+InMemoryOracle::InMemoryOracle(const LabeledPointSet& set)
+    : set_(&set), revealed_(set.size(), false) {}
+
+Label InMemoryOracle::Probe(size_t index) {
+  MC_CHECK_LT(index, set_->size());
+  ++probe_calls_;
+  if (!revealed_[index]) {
+    revealed_[index] = true;
+    ++distinct_probes_;
+  }
+  return set_->label(index);
+}
+
+bool InMemoryOracle::WasProbed(size_t index) const {
+  MC_CHECK_LT(index, revealed_.size());
+  return revealed_[index];
+}
+
+void InMemoryOracle::Reset() {
+  revealed_.assign(set_->size(), false);
+  distinct_probes_ = 0;
+  probe_calls_ = 0;
+}
+
+NoisyOracle::NoisyOracle(const LabeledPointSet& set, double flip_probability,
+                         uint64_t seed)
+    : set_(&set),
+      flip_probability_(flip_probability),
+      rng_(seed),
+      state_(set.size(), 0) {
+  MC_CHECK_GE(flip_probability, 0.0);
+  MC_CHECK_LE(flip_probability, 1.0);
+}
+
+Label NoisyOracle::Probe(size_t index) {
+  MC_CHECK_LT(index, set_->size());
+  ++probe_calls_;
+  if (state_[index] == 0) {
+    ++distinct_probes_;
+    if (rng_.Bernoulli(flip_probability_)) {
+      state_[index] = 2;
+      ++num_lies_;
+    } else {
+      state_[index] = 1;
+    }
+  }
+  const Label truth = set_->label(index);
+  return state_[index] == 2 ? static_cast<Label>(1 - truth) : truth;
+}
+
+}  // namespace monoclass

@@ -1,0 +1,103 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Label oracles for active monotone classification (paper Problem 1).
+//
+// In the active problem the points of P are visible but the labels are
+// hidden; an algorithm pays one unit per *point whose label it reveals*.
+// All active algorithms in this library receive labels only through this
+// interface, so probe accounting is airtight: tests assert the algorithms
+// never touch LabeledPointSet directly.
+//
+// The paper's probing cost counts revealed points. Since the sampling
+// algorithms draw with replacement, the same point can be requested
+// multiple times; InMemoryOracle caches and NumProbes() counts distinct
+// points (a real deployment would memoize its human labelers the same
+// way). NumProbeCalls() additionally exposes the raw request count.
+
+#ifndef MONOCLASS_ACTIVE_ORACLE_H_
+#define MONOCLASS_ACTIVE_ORACLE_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "util/random.h"
+
+namespace monoclass {
+
+// Abstract probe interface over a fixed point set of known size.
+class LabelOracle {
+ public:
+  virtual ~LabelOracle() = default;
+
+  // Reveals the label of point `index`. Counts one probe unless this
+  // oracle already revealed that point.
+  virtual Label Probe(size_t index) = 0;
+
+  // Number of points in the underlying set.
+  virtual size_t NumPoints() const = 0;
+
+  // Probing cost so far: distinct points revealed.
+  virtual size_t NumProbes() const = 0;
+
+  // Raw number of Probe() invocations (>= NumProbes()).
+  virtual size_t NumProbeCalls() const = 0;
+};
+
+// Oracle over an in-memory ground-truth labeling.
+class InMemoryOracle final : public LabelOracle {
+ public:
+  // The referenced set must outlive the oracle.
+  explicit InMemoryOracle(const LabeledPointSet& set);
+
+  Label Probe(size_t index) override;
+  size_t NumPoints() const override { return set_->size(); }
+  size_t NumProbes() const override { return distinct_probes_; }
+  size_t NumProbeCalls() const override { return probe_calls_; }
+
+  // True iff the point was revealed at some time (used by tests to verify
+  // probe sets).
+  bool WasProbed(size_t index) const;
+
+  // Forgets all revealed labels and resets the counters.
+  void Reset();
+
+ private:
+  const LabeledPointSet* set_;
+  std::vector<bool> revealed_;
+  size_t distinct_probes_ = 0;
+  size_t probe_calls_ = 0;
+};
+
+// Oracle whose answers are wrong with a fixed probability -- models an
+// imperfect human labeler (a robustness scenario beyond the paper;
+// experiment E13 measures the degradation). Each point's answer is
+// decided once on first probe and memoized, so repeated probes are
+// consistent (a persistent-noise model, not a resampling one).
+class NoisyOracle final : public LabelOracle {
+ public:
+  // Flips each first-time answer with probability `flip_probability`.
+  NoisyOracle(const LabeledPointSet& set, double flip_probability,
+              uint64_t seed);
+
+  Label Probe(size_t index) override;
+  size_t NumPoints() const override { return set_->size(); }
+  size_t NumProbes() const override { return distinct_probes_; }
+  size_t NumProbeCalls() const override { return probe_calls_; }
+
+  // Number of answers that were flipped so far.
+  size_t NumLies() const { return num_lies_; }
+
+ private:
+  const LabeledPointSet* set_;
+  double flip_probability_;
+  Rng rng_;
+  std::vector<uint8_t> state_;  // 0 = unprobed, 1 = truthful, 2 = flipped
+  size_t distinct_probes_ = 0;
+  size_t probe_calls_ = 0;
+  size_t num_lies_ = 0;
+};
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_ACTIVE_ORACLE_H_

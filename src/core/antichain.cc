@@ -1,0 +1,67 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/antichain.h"
+
+#include "core/dominance.h"
+#include "graph/matching.h"
+#include "graph/path_cover.h"
+
+namespace monoclass {
+namespace {
+
+// Rebuilds the split bipartite graph used by the path cover so Koenig's
+// construction can run on the identical edge set.
+BipartiteGraph BuildSplitGraph(const DagAdjacency& dag) {
+  const auto n = static_cast<int>(dag.size());
+  BipartiteGraph split(n, n);
+  for (int u = 0; u < n; ++u) {
+    for (const int v : dag[static_cast<size_t>(u)]) {
+      split.AddEdge(u, v);
+    }
+  }
+  return split;
+}
+
+}  // namespace
+
+size_t DominanceWidth(const PointSet& points) {
+  if (points.empty()) return 0;
+  const DagAdjacency dag = BuildDominanceDag(points);
+  const BipartiteGraph split = BuildSplitGraph(dag);
+  const Matching matching = HopcroftKarpMatching(split);
+  return points.size() - static_cast<size_t>(matching.size);
+}
+
+std::vector<size_t> MaximumAntichain(const PointSet& points) {
+  if (points.empty()) return {};
+  const DagAdjacency dag = BuildDominanceDag(points);
+  const BipartiteGraph split = BuildSplitGraph(dag);
+  const Matching matching = HopcroftKarpMatching(split);
+  const VertexCover cover = KonigVertexCover(split, matching);
+
+  // Dilworth via Koenig: a point is in the antichain iff neither of its
+  // split copies is in the minimum vertex cover. Any dominance pair among
+  // such points would be an uncovered edge, contradicting the cover.
+  std::vector<size_t> antichain;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (!cover.left[i] && !cover.right[i]) antichain.push_back(i);
+  }
+  const size_t width = points.size() - static_cast<size_t>(matching.size);
+  MC_CHECK_EQ(antichain.size(), width)
+      << "Koenig antichain size disagrees with Dilworth width";
+  return antichain;
+}
+
+bool IsAntichain(const PointSet& points, const std::vector<size_t>& indices) {
+  for (size_t a = 0; a < indices.size(); ++a) {
+    for (size_t b = a + 1; b < indices.size(); ++b) {
+      const Point& p = points[indices[a]];
+      const Point& q = points[indices[b]];
+      if (DominatesEq(p, q) || DominatesEq(q, p)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace monoclass

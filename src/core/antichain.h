@@ -1,0 +1,37 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Dominance width and maximum antichains (paper Sections 1.2 and 2).
+//
+// The width w of P is the size of the largest antichain (pairwise
+// incomparable subset) and, by Dilworth's theorem, equals the minimum
+// number of chains in a chain decomposition. The width is *the* hardness
+// parameter of active monotone classification: Theorem 2's probe bound is
+// O((w/eps^2) log n log(n/w)).
+
+#ifndef MONOCLASS_CORE_ANTICHAIN_H_
+#define MONOCLASS_CORE_ANTICHAIN_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// Dominance width w of the set: n minus the maximum matching of the split
+// dominance graph (equivalently, the minimum chain count). O(d n^2 + n^2.5).
+size_t DominanceWidth(const PointSet& points);
+
+// A maximum antichain (a width witness), extracted from the same matching
+// via Koenig's theorem: the complement of a minimum vertex cover of the
+// split graph projects to a pairwise-incomparable set of size w. Returns
+// point indices in increasing order.
+std::vector<size_t> MaximumAntichain(const PointSet& points);
+
+// Checks pairwise incomparability (treating coordinate-equal distinct
+// points as comparable). O(d m^2) for m indices.
+bool IsAntichain(const PointSet& points, const std::vector<size_t>& indices);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_CORE_ANTICHAIN_H_

@@ -1,0 +1,32 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Fast minimum chain decomposition for the d = 2 special case.
+//
+// The paper's Lemma 6 runs in O(d n^2 + n^2.5) via bipartite matching for
+// any d. In two dimensions the dominance order is a sequence problem:
+// sort by (x, y) ascending -- a linear extension -- and a chain is
+// exactly a subsequence with non-decreasing y. Patience-style greedy
+// (append each point to the chain whose current tail has the largest
+// y <= the point's y; open a new chain otherwise) produces the minimum
+// number of such subsequences, which by Dilworth equals the width w.
+// Total time O(n log n) -- an optimization the paper leaves on the
+// table, benchmarked against Lemma 6 in bench_chain_decomposition.
+
+#ifndef MONOCLASS_CORE_CHAIN_DECOMPOSITION_2D_H_
+#define MONOCLASS_CORE_CHAIN_DECOMPOSITION_2D_H_
+
+#include "core/chain_decomposition.h"
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// Minimum chain decomposition of a 2-dimensional point set in
+// O(n log n). Produces exactly DominanceWidth(points) chains (possibly a
+// different decomposition than MinimumChainDecomposition, but the same
+// minimal count). Requires points.dimension() == 2 (or an empty set).
+ChainDecomposition MinimumChainDecomposition2D(const PointSet& points);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_CORE_CHAIN_DECOMPOSITION_2D_H_

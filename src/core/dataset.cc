@@ -1,0 +1,137 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/dataset.h"
+
+#include <cmath>
+
+namespace monoclass {
+namespace {
+
+// Dataset points must have finite coordinates: NaN breaks dominance
+// comparisons silently (every comparison false) and +-infinity breaks
+// the flow solver's effective-infinity reasoning. Classifier *generators*
+// may still use -infinity (they are not stored in a PointSet).
+void CheckFiniteCoordinates(const Point& point) {
+  for (size_t i = 0; i < point.dimension(); ++i) {
+    MC_CHECK(std::isfinite(point[i]))
+        << "dataset coordinates must be finite, got " << point.ToString();
+  }
+}
+
+}  // namespace
+
+PointSet::PointSet(std::vector<Point> points) : points_(std::move(points)) {
+  if (!points_.empty()) {
+    dimension_ = points_[0].dimension();
+    MC_CHECK_GE(dimension_, 1u);
+    for (const Point& p : points_) {
+      MC_CHECK_EQ(p.dimension(), dimension_)
+          << "all points must share one dimension";
+      CheckFiniteCoordinates(p);
+    }
+  }
+}
+
+void PointSet::Add(Point point) {
+  if (points_.empty()) {
+    dimension_ = point.dimension();
+    MC_CHECK_GE(dimension_, 1u);
+  } else {
+    MC_CHECK_EQ(point.dimension(), dimension_);
+  }
+  CheckFiniteCoordinates(point);
+  points_.push_back(std::move(point));
+}
+
+PointSet PointSet::Subset(const std::vector<size_t>& indices) const {
+  PointSet subset;
+  for (const size_t i : indices) {
+    MC_CHECK_LT(i, points_.size());
+    subset.Add(points_[i]);
+  }
+  return subset;
+}
+
+LabeledPointSet::LabeledPointSet(PointSet points, std::vector<Label> labels)
+    : points_(std::move(points)), labels_(std::move(labels)) {
+  MC_CHECK_EQ(points_.size(), labels_.size());
+  for (const Label label : labels_) {
+    MC_CHECK(label == 0 || label == 1) << "labels must be binary";
+  }
+}
+
+void LabeledPointSet::Add(Point point, Label label) {
+  MC_CHECK(label == 0 || label == 1);
+  points_.Add(std::move(point));
+  labels_.push_back(label);
+}
+
+size_t LabeledPointSet::CountPositive() const {
+  size_t count = 0;
+  for (const Label label : labels_) count += label;
+  return count;
+}
+
+LabeledPointSet LabeledPointSet::Subset(
+    const std::vector<size_t>& indices) const {
+  LabeledPointSet subset;
+  for (const size_t i : indices) {
+    MC_CHECK_LT(i, size());
+    subset.Add(points_[i], labels_[i]);
+  }
+  return subset;
+}
+
+WeightedPointSet::WeightedPointSet(PointSet points, std::vector<Label> labels,
+                                   std::vector<double> weights)
+    : points_(std::move(points)),
+      labels_(std::move(labels)),
+      weights_(std::move(weights)) {
+  MC_CHECK_EQ(points_.size(), labels_.size());
+  MC_CHECK_EQ(points_.size(), weights_.size());
+  for (const Label label : labels_) {
+    MC_CHECK(label == 0 || label == 1) << "labels must be binary";
+  }
+  for (const double weight : weights_) {
+    MC_CHECK_GT(weight, 0.0) << "Problem 2 requires positive weights";
+  }
+}
+
+WeightedPointSet WeightedPointSet::UnitWeights(
+    const LabeledPointSet& labeled) {
+  return WeightedPointSet(labeled.points(), labeled.labels(),
+                          std::vector<double>(labeled.size(), 1.0));
+}
+
+void WeightedPointSet::Add(Point point, Label label, double weight) {
+  MC_CHECK(label == 0 || label == 1);
+  MC_CHECK_GT(weight, 0.0);
+  points_.Add(std::move(point));
+  labels_.push_back(label);
+  weights_.push_back(weight);
+}
+
+double WeightedPointSet::TotalWeight() const {
+  double total = 0.0;
+  for (const double w : weights_) total += w;
+  return total;
+}
+
+WeightedPointSet WeightedPointSet::Subset(
+    const std::vector<size_t>& indices) const {
+  WeightedPointSet subset;
+  for (const size_t i : indices) {
+    MC_CHECK_LT(i, size());
+    subset.Add(points_[i], labels_[i], weights_[i]);
+  }
+  return subset;
+}
+
+void WeightedPointSet::Append(const WeightedPointSet& other) {
+  for (size_t i = 0; i < other.size(); ++i) {
+    Add(other.point(i), other.label(i), other.weight(i));
+  }
+}
+
+}  // namespace monoclass

@@ -1,0 +1,140 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Input containers for the two problems of the paper:
+//
+//   * PointSet          -- just points (the active problem's visible part);
+//   * LabeledPointSet   -- points + binary labels (Problem 1 ground truth,
+//                          held behind an oracle during active runs);
+//   * WeightedPointSet  -- points + labels + positive weights, the
+//                          "fully-labeled weighted set" of Problem 2.
+
+#ifndef MONOCLASS_CORE_DATASET_H_
+#define MONOCLASS_CORE_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/point.h"
+
+namespace monoclass {
+
+// A binary label; stored as uint8_t to keep label vectors compact.
+using Label = uint8_t;
+
+// An ordered collection of points of uniform dimension. Indices into a
+// PointSet are stable identifiers used across the whole library (oracles,
+// chains, classifiers' audits all speak in point indices).
+class PointSet {
+ public:
+  PointSet() = default;
+
+  // Creates a set holding the given points; all dimensions must agree.
+  explicit PointSet(std::vector<Point> points);
+
+  // Appends a point; its dimension must match unless the set is empty.
+  void Add(Point point);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  // Dimension d of the points; 0 for an empty set.
+  size_t dimension() const { return dimension_; }
+
+  const Point& operator[](size_t i) const {
+    MC_DCHECK_LT(i, points_.size());
+    return points_[i];
+  }
+
+  const std::vector<Point>& points() const { return points_; }
+
+  // The sub-set of points at the given indices (order preserved).
+  PointSet Subset(const std::vector<size_t>& indices) const;
+
+ private:
+  std::vector<Point> points_;
+  size_t dimension_ = 0;
+};
+
+// Points with ground-truth binary labels.
+class LabeledPointSet {
+ public:
+  LabeledPointSet() = default;
+
+  // `labels[i]` (0 or 1) is the label of `points[i]`.
+  LabeledPointSet(PointSet points, std::vector<Label> labels);
+
+  void Add(Point point, Label label);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  size_t dimension() const { return points_.dimension(); }
+
+  const PointSet& points() const { return points_; }
+  const Point& point(size_t i) const { return points_[i]; }
+  Label label(size_t i) const {
+    MC_DCHECK_LT(i, labels_.size());
+    return labels_[i];
+  }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  // Number of points carrying label 1.
+  size_t CountPositive() const;
+
+  LabeledPointSet Subset(const std::vector<size_t>& indices) const;
+
+ private:
+  PointSet points_;
+  std::vector<Label> labels_;
+};
+
+// Points with labels and strictly positive real weights (paper Problem 2's
+// "fully-labeled weighted set").
+class WeightedPointSet {
+ public:
+  WeightedPointSet() = default;
+
+  WeightedPointSet(PointSet points, std::vector<Label> labels,
+                   std::vector<double> weights);
+
+  // Unit-weight view of a labeled set: w-err then equals err (eq. (3) of
+  // the paper specializing to eq. (1)).
+  static WeightedPointSet UnitWeights(const LabeledPointSet& labeled);
+
+  void Add(Point point, Label label, double weight);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  size_t dimension() const { return points_.dimension(); }
+
+  const PointSet& points() const { return points_; }
+  const Point& point(size_t i) const { return points_[i]; }
+  Label label(size_t i) const {
+    MC_DCHECK_LT(i, labels_.size());
+    return labels_[i];
+  }
+  double weight(size_t i) const {
+    MC_DCHECK_LT(i, weights_.size());
+    return weights_[i];
+  }
+  const std::vector<Label>& labels() const { return labels_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  // Sum of all weights (an upper bound on any classifier's weighted error).
+  double TotalWeight() const;
+
+  WeightedPointSet Subset(const std::vector<size_t>& indices) const;
+
+  // Concatenates another weighted set of the same dimension onto this one
+  // (used to take the union Sigma of per-chain weighted samples, eq. (30)).
+  void Append(const WeightedPointSet& other);
+
+ private:
+  PointSet points_;
+  std::vector<Label> labels_;
+  std::vector<double> weights_;
+};
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_CORE_DATASET_H_

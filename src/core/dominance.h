@@ -1,0 +1,36 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The dominance DAG of a point set: the transitively-closed digraph with an
+// edge u -> v whenever v weakly dominates u. Built in O(d n^2) time, this
+// is the shared substrate of Lemma 6 (chain decomposition via minimum path
+// cover), the width/antichain computation, and the passive solver's flow
+// network (Section 5).
+//
+// Duplicate points (equal coordinate vectors) mutually dominate, which
+// would create 2-cycles; ties are broken by index (the lower index comes
+// first), which keeps the digraph acyclic and transitively closed while
+// preserving chain semantics: equal points sit adjacently on a chain.
+
+#ifndef MONOCLASS_CORE_DOMINANCE_H_
+#define MONOCLASS_CORE_DOMINANCE_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "graph/path_cover.h"
+
+namespace monoclass {
+
+// adjacency[u] holds every v such that points[v] "comes after" points[u] in
+// the dominance order: DominatesEq(points[v], points[u]) and, for
+// coordinate-equal pairs, u < v. O(d n^2).
+DagAdjacency BuildDominanceDag(const PointSet& points);
+
+// True iff points[a] weakly dominates points[b] with the same index
+// tie-break used by BuildDominanceDag (a "comes after" b).
+bool DominanceSucceeds(const PointSet& points, size_t after, size_t before);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_CORE_DOMINANCE_H_

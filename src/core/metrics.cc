@@ -1,0 +1,61 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace monoclass {
+
+double ConfusionMatrix::Precision() const {
+  const size_t predicted_positive = true_positive + false_positive;
+  if (predicted_positive == 0) return 0.0;
+  return static_cast<double>(true_positive) /
+         static_cast<double>(predicted_positive);
+}
+
+double ConfusionMatrix::Recall() const {
+  const size_t actual_positive = true_positive + false_negative;
+  if (actual_positive == 0) return 0.0;
+  return static_cast<double>(true_positive) /
+         static_cast<double>(actual_positive);
+}
+
+double ConfusionMatrix::F1() const {
+  const double precision = Precision();
+  const double recall = Recall();
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t total = Total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(true_positive + true_negative) /
+         static_cast<double>(total);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream out;
+  out << "tp=" << true_positive << " fp=" << false_positive
+      << " tn=" << true_negative << " fn=" << false_negative
+      << " precision=" << Precision() << " recall=" << Recall()
+      << " f1=" << F1();
+  return out.str();
+}
+
+ConfusionMatrix EvaluateClassifier(const MonotoneClassifier& h,
+                                   const LabeledPointSet& set) {
+  ConfusionMatrix matrix;
+  for (size_t i = 0; i < set.size(); ++i) {
+    const bool predicted = h.Classify(set.point(i));
+    const bool actual = set.label(i) == 1;
+    if (predicted && actual) ++matrix.true_positive;
+    if (predicted && !actual) ++matrix.false_positive;
+    if (!predicted && !actual) ++matrix.true_negative;
+    if (!predicted && actual) ++matrix.false_negative;
+  }
+  return matrix;
+}
+
+}  // namespace monoclass

@@ -1,0 +1,49 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Classification quality metrics for evaluating monotone classifiers on
+// labeled sets -- the vocabulary of the entity-matching application
+// (precision / recall / F1 over match decisions).
+
+#ifndef MONOCLASS_CORE_METRICS_H_
+#define MONOCLASS_CORE_METRICS_H_
+
+#include <string>
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// 2x2 confusion counts of a classifier against ground-truth labels.
+struct ConfusionMatrix {
+  size_t true_positive = 0;
+  size_t false_positive = 0;
+  size_t true_negative = 0;
+  size_t false_negative = 0;
+
+  size_t Total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  size_t Errors() const { return false_positive + false_negative; }
+
+  // Fraction of predicted positives that are correct; 0 when no
+  // positives were predicted.
+  double Precision() const;
+  // Fraction of actual positives recovered; 0 when there are none.
+  double Recall() const;
+  // Harmonic mean of precision and recall; 0 when either is 0.
+  double F1() const;
+  // Fraction of all points classified correctly.
+  double Accuracy() const;
+
+  std::string ToString() const;
+};
+
+// Evaluates `h` on every point of `set`.
+ConfusionMatrix EvaluateClassifier(const MonotoneClassifier& h,
+                                   const LabeledPointSet& set);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_CORE_METRICS_H_

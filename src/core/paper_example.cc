@@ -1,0 +1,45 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/paper_example.h"
+
+namespace monoclass {
+
+LabeledPointSet PaperFigure1Points() {
+  // Coordinates realize every dominance fact the paper states:
+  //   chains   C1 = p1<p2<p3<p4<p10, C2 = {p11}, C3 = p5<p9<p12,
+  //            C4 = {p16}, C5 = {p13}, C6 = p6<p7<p8<p14<p15;
+  //   antichain {p10, p11, p12, p16, p13, p14} (x ascending, y descending);
+  //   contending whites {p2, p3, p5, p11, p15}, blacks {p1, p4, p9, p13,
+  //   p14} (p2, p3, p5 >= p1; p11 >= p4 >= p1; p15 >= p1, p9, p13, p14).
+  LabeledPointSet set;
+  set.Add(Point{2, 4}, 1);    // p1
+  set.Add(Point{3, 5}, 0);    // p2
+  set.Add(Point{4, 6}, 0);    // p3
+  set.Add(Point{5, 8}, 1);    // p4
+  set.Add(Point{5, 4}, 0);    // p5
+  set.Add(Point{12, 1}, 0);   // p6
+  set.Add(Point{13, 2}, 0);   // p7
+  set.Add(Point{14, 3}, 0);   // p8
+  set.Add(Point{7, 5}, 1);    // p9
+  set.Add(Point{6, 12}, 1);   // p10
+  set.Add(Point{8, 10}, 0);   // p11
+  set.Add(Point{9, 9}, 1);    // p12
+  set.Add(Point{11, 6}, 1);   // p13
+  set.Add(Point{15, 5}, 1);   // p14
+  set.Add(Point{16, 7}, 0);   // p15
+  set.Add(Point{10, 8}, 1);   // p16
+  return set;
+}
+
+WeightedPointSet PaperFigure1WeightedPoints() {
+  const LabeledPointSet labeled = PaperFigure1Points();
+  std::vector<double> weights(labeled.size(), 1.0);
+  weights[0] = 100.0;   // p1
+  weights[10] = 60.0;   // p11
+  weights[14] = 60.0;   // p15
+  return WeightedPointSet(labeled.points(), labeled.labels(),
+                          std::move(weights));
+}
+
+}  // namespace monoclass

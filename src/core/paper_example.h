@@ -1,0 +1,32 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The worked example of the paper's Figures 1 and 2: a 16-point 2D set
+// with dominance width 6, optimal unweighted error k* = 3, and -- under
+// the weights of Figure 1(b) -- optimal weighted error 104. Used by the
+// figure-reproduction tests and by bench_figure_examples (experiment E1).
+//
+// The paper's figures give the labels, weights, chain decomposition,
+// antichain, and both optima but not exact coordinates; the coordinates
+// below realize all of the stated dominance relationships (they were
+// reverse-engineered from Figure 1 and are verified by the E1 tests:
+// w = 6, the 6 listed chains are valid, the stated antichain is maximal,
+// k* = 3, weighted optimum 104 with the stated optimal classifiers).
+
+#ifndef MONOCLASS_CORE_PAPER_EXAMPLE_H_
+#define MONOCLASS_CORE_PAPER_EXAMPLE_H_
+
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// Index i holds the paper's point p_{i+1} (p1..p16).
+LabeledPointSet PaperFigure1Points();
+
+// Figure 1(b): same points; weight 100 on p1, weight 60 on p11 and p15,
+// weight 1 elsewhere.
+WeightedPointSet PaperFigure1WeightedPoints();
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_CORE_PAPER_EXAMPLE_H_

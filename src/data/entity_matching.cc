@@ -1,0 +1,191 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "data/entity_matching.h"
+
+#include <array>
+#include <cctype>
+
+#include "data/similarity.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+constexpr std::array<const char*, 24> kBrands = {
+    "acme",    "globex",   "initech", "umbrella", "stark",    "wayne",
+    "tyrell",  "cyberdyn", "aperture", "weyland",  "oscorp",   "massive",
+    "hooli",   "pied",     "vandelay", "wonka",    "dunder",   "sterling",
+    "bluth",   "gekko",    "nakatomi", "virtucon", "soylent",  "zorg"};
+
+constexpr std::array<const char*, 20> kProducts = {
+    "laptop",   "monitor", "keyboard", "router",  "printer",
+    "scanner",  "charger", "headset",  "webcam",  "dock",
+    "tablet",   "phone",   "speaker",  "mouse",   "adapter",
+    "ssd",      "camera",  "drone",    "watch",   "projector"};
+
+constexpr std::array<const char*, 12> kQualifiers = {
+    "pro",  "max",  "ultra", "mini", "air",   "plus",
+    "lite", "neo",  "prime", "x",    "turbo", "classic"};
+
+constexpr std::array<const char*, 20> kFirstNames = {
+    "james", "mary",    "robert", "patricia", "john",   "jennifer",
+    "david", "linda",   "william", "elizabeth", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah",    "charles", "karen",
+    "daniel", "nancy"};
+
+constexpr std::array<const char*, 20> kLastNames = {
+    "smith",  "johnson", "williams", "brown",  "jones",  "garcia",
+    "miller", "davis",   "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson", "anderson", "thomas", "taylor", "moore",
+    "jackson", "martin"};
+
+constexpr std::array<const char*, 12> kStreetNames = {
+    "oak",    "maple", "cedar",  "elm",     "pine",   "washington",
+    "lake",   "hill",  "church", "main",    "park",   "river"};
+
+constexpr std::array<const char*, 10> kCities = {
+    "springfield", "riverton",  "fairview", "salem",    "georgetown",
+    "clinton",     "greenwood", "bristol",  "ashland",  "oxford"};
+
+std::string MakeProductName(Rng& rng) {
+  std::string name = kBrands[rng.UniformInt(kBrands.size())];
+  name += ' ';
+  name += kProducts[rng.UniformInt(kProducts.size())];
+  name += ' ';
+  name += kQualifiers[rng.UniformInt(kQualifiers.size())];
+  name += ' ';
+  // Model number, e.g. "t4820".
+  name += static_cast<char>('a' + rng.UniformInt(26));
+  const size_t digits = 3 + rng.UniformInt(2);
+  for (size_t i = 0; i < digits; ++i) {
+    name += static_cast<char>('0' + rng.UniformInt(10));
+  }
+  return name;
+}
+
+std::string MakePersonRecord(Rng& rng) {
+  std::string record = kFirstNames[rng.UniformInt(kFirstNames.size())];
+  record += ' ';
+  record += kLastNames[rng.UniformInt(kLastNames.size())];
+  record += ' ';
+  record += std::to_string(1 + rng.UniformInt(9999));
+  record += ' ';
+  record += kStreetNames[rng.UniformInt(kStreetNames.size())];
+  record += " street ";
+  record += kCities[rng.UniformInt(kCities.size())];
+  return record;
+}
+
+std::string MakeEntityName(RecordDomain domain, Rng& rng) {
+  return domain == RecordDomain::kProducts ? MakeProductName(rng)
+                                           : MakePersonRecord(rng);
+}
+
+// Person-data-specific clean rewrites applied before character noise:
+// first name -> initial, "street" -> "st".
+std::string PersonVariants(const std::string& clean, double typo_rate,
+                           Rng& rng) {
+  std::vector<std::string> tokens = SplitTokens(clean);
+  if (!tokens.empty() && tokens[0].size() > 1 &&
+      rng.Bernoulli(typo_rate * 2.0)) {
+    tokens[0] = std::string(1, tokens[0][0]) + ".";
+  }
+  std::string result;
+  for (auto& token : tokens) {
+    if (token == "street" && rng.Bernoulli(0.5)) token = "st";
+    if (!result.empty()) result += ' ';
+    result += token;
+  }
+  return result;
+}
+
+// Dirty variant of a record: per-character typos, occasional token drop or
+// truncation -- the kinds of noise real duplicate records exhibit.
+std::string Corrupt(const std::string& clean, double typo_rate, Rng& rng) {
+  std::vector<std::string> tokens = SplitTokens(clean);
+  // Drop one non-leading token with probability ~typo_rate.
+  if (tokens.size() > 2 && rng.Bernoulli(typo_rate)) {
+    const size_t drop = 1 + rng.UniformInt(tokens.size() - 1);
+    tokens.erase(tokens.begin() + static_cast<long>(drop));
+  }
+  std::string result;
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    std::string token = tokens[t];
+    // Abbreviate a long token occasionally ("aperture" -> "apert.").
+    if (token.size() > 5 && rng.Bernoulli(typo_rate * 0.5)) {
+      token = token.substr(0, 4) + ".";
+    }
+    // Character-level noise.
+    std::string noisy;
+    for (const char c : token) {
+      const double roll = rng.UniformDouble();
+      if (roll < typo_rate * 0.15) continue;  // deletion
+      if (roll < typo_rate * 0.3) {           // substitution
+        noisy += static_cast<char>('a' + rng.UniformInt(26));
+        continue;
+      }
+      noisy += c;
+      if (roll > 1.0 - typo_rate * 0.1) {     // duplication
+        noisy += c;
+      }
+    }
+    if (!noisy.empty()) {
+      if (!result.empty()) result += ' ';
+      result += noisy;
+    }
+  }
+  return result.empty() ? clean : result;
+}
+
+}  // namespace
+
+EntityMatchingInstance GenerateEntityMatching(
+    const EntityMatchingOptions& options) {
+  MC_CHECK_GE(options.num_pairs, 1u);
+  MC_CHECK_GE(options.catalog_size, 2u);
+  MC_CHECK_GE(options.match_fraction, 0.0);
+  MC_CHECK_LE(options.match_fraction, 1.0);
+  MC_CHECK_GE(options.typo_rate, 0.0);
+  MC_CHECK_LE(options.typo_rate, 1.0);
+  Rng rng(options.seed);
+
+  std::vector<std::string> catalog(options.catalog_size);
+  for (auto& record : catalog) {
+    record = MakeEntityName(options.domain, rng);
+  }
+  auto make_dirty = [&options, &rng](const std::string& clean) {
+    const std::string rewritten =
+        options.domain == RecordDomain::kPeople
+            ? PersonVariants(clean, options.typo_rate, rng)
+            : clean;
+    return Corrupt(rewritten, options.typo_rate, rng);
+  };
+
+  EntityMatchingInstance instance;
+  instance.pairs.reserve(options.num_pairs);
+  for (size_t i = 0; i < options.num_pairs; ++i) {
+    RecordPair pair;
+    pair.is_match = rng.Bernoulli(options.match_fraction);
+    if (pair.is_match) {
+      const auto entity = rng.UniformInt(catalog.size());
+      pair.left = catalog[entity];
+      pair.right = make_dirty(catalog[entity]);
+    } else {
+      const auto a = rng.UniformInt(catalog.size());
+      auto b = rng.UniformInt(catalog.size());
+      while (b == a) b = rng.UniformInt(catalog.size());
+      pair.left = catalog[a];
+      // Half the non-matches are corrupted too, so the negative class is
+      // not trivially clean.
+      pair.right = rng.Bernoulli(0.5) ? make_dirty(catalog[b]) : catalog[b];
+    }
+    instance.data.Add(
+        Point(SimilarityVector(pair.left, pair.right, options.dimension)),
+        pair.is_match ? 1 : 0);
+    instance.pairs.push_back(std::move(pair));
+  }
+  return instance;
+}
+
+}  // namespace monoclass

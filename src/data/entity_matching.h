@@ -1,0 +1,71 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// A synthetic entity-matching workload in the mold of the paper's
+// motivating applications (product-ad matching, record linkage, duplicate
+// detection; Section 1.1).
+//
+// The generator creates clean "catalog" records (brand + product + model),
+// derives dirty variants via realistic corruptions (typos, token drops,
+// abbreviations, case noise), and emits labeled record pairs: a matching
+// pair is a record with one of its corruptions; a non-matching pair joins
+// two different entities (biased towards same-brand pairs so non-matches
+// are not trivially dissimilar). Each pair becomes the point of its
+// similarity scores (data/similarity.h), yielding the exact input shape
+// of Problems 1 and 2: labels are expensive in the real application, so
+// active classification is the natural fit (experiment E11).
+
+#ifndef MONOCLASS_DATA_ENTITY_MATCHING_H_
+#define MONOCLASS_DATA_ENTITY_MATCHING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// Which record universe the generator draws from.
+enum class RecordDomain {
+  // Product listings: "brand product qualifier model" (ad matching).
+  kProducts,
+  // Person records: "first last, number street_name st, cityname" with
+  // person-data corruptions (initials, nicknames, street abbreviations)
+  // -- the classic record-linkage setting.
+  kPeople,
+};
+
+struct EntityMatchingOptions {
+  RecordDomain domain = RecordDomain::kProducts;
+  size_t num_pairs = 2000;
+  // Fraction of pairs that are true matches.
+  double match_fraction = 0.35;
+  // Corruption intensity for dirty variants, in [0, 1].
+  double typo_rate = 0.15;
+  // Number of similarity metrics (dimension d of the points), 1..5.
+  size_t dimension = 4;
+  // Number of distinct clean entities in the catalog.
+  size_t catalog_size = 500;
+  uint64_t seed = 1;
+};
+
+struct RecordPair {
+  std::string left;
+  std::string right;
+  bool is_match = false;
+};
+
+struct EntityMatchingInstance {
+  // Points are similarity vectors; label 1 = match.
+  LabeledPointSet data;
+  // The raw record pairs, parallel to the points.
+  std::vector<RecordPair> pairs;
+};
+
+EntityMatchingInstance GenerateEntityMatching(
+    const EntityMatchingOptions& options);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_DATA_ENTITY_MATCHING_H_

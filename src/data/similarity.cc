@@ -1,0 +1,168 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "data/similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace monoclass {
+
+double NormalizedLevenshtein(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  // Two-row dynamic program.
+  std::vector<size_t> prev(lb + 1);
+  std::vector<size_t> curr(lb + 1);
+  for (size_t j = 0; j <= lb; ++j) prev[j] = j;
+  for (size_t i = 1; i <= la; ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= lb; ++j) {
+      const size_t substitution =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitution});
+    }
+    std::swap(prev, curr);
+  }
+  const double distance = static_cast<double>(prev[lb]);
+  return 1.0 - distance / static_cast<double>(std::max(la, lb));
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, size_t q) {
+  MC_CHECK_GE(q, 1u);
+  auto grams = [q](std::string_view s) {
+    std::map<std::string, size_t> counts;
+    if (s.size() < q) {
+      if (!s.empty()) ++counts[std::string(s)];
+      return counts;
+    }
+    for (size_t i = 0; i + q <= s.size(); ++i) {
+      ++counts[std::string(s.substr(i, q))];
+    }
+    return counts;
+  };
+  const auto ga = grams(a);
+  const auto gb = grams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  size_t intersection = 0;
+  size_t union_size = 0;
+  auto ia = ga.begin();
+  auto ib = gb.begin();
+  while (ia != ga.end() || ib != gb.end()) {
+    if (ib == gb.end() || (ia != ga.end() && ia->first < ib->first)) {
+      union_size += ia->second;
+      ++ia;
+    } else if (ia == ga.end() || ib->first < ia->first) {
+      union_size += ib->second;
+      ++ib;
+    } else {
+      intersection += std::min(ia->second, ib->second);
+      union_size += std::max(ia->second, ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  const size_t match_window =
+      std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+
+  std::vector<bool> a_matched(la, false);
+  std::vector<bool> b_matched(lb, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    const size_t start = i > match_window ? i - match_window : 0;
+    const size_t end = std::min(lb, i + match_window + 1);
+    for (size_t j = start; j < end; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions: matched characters out of order, halved.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  const double jaro =
+      (m / static_cast<double>(la) + m / static_cast<double>(lb) +
+       (m - static_cast<double>(transpositions) / 2.0) / m) /
+      3.0;
+
+  size_t prefix = 0;
+  const size_t prefix_cap = std::min<size_t>({4, la, lb});
+  while (prefix < prefix_cap && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+std::vector<std::string> SplitTokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  const auto ta = SplitTokens(a);
+  const auto tb = SplitTokens(b);
+  const std::set<std::string> sa(ta.begin(), ta.end());
+  const std::set<std::string> sb(tb.begin(), tb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const auto& token : sa) intersection += sb.count(token);
+  const size_t union_size = sa.size() + sb.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double PrefixSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t limit = std::min(a.size(), b.size());
+  size_t prefix = 0;
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return static_cast<double>(prefix) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+std::vector<double> SimilarityVector(std::string_view a, std::string_view b,
+                                     size_t dimension) {
+  MC_CHECK_GE(dimension, 1u);
+  MC_CHECK_LE(dimension, 5u);
+  const std::vector<double> all = {
+      NormalizedLevenshtein(a, b), QGramJaccard(a, b), JaroWinkler(a, b),
+      TokenJaccard(a, b), PrefixSimilarity(a, b)};
+  return std::vector<double>(all.begin(),
+                             all.begin() + static_cast<long>(dimension));
+}
+
+}  // namespace monoclass

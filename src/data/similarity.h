@@ -1,0 +1,45 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// String similarity metrics for the entity-matching workload (paper
+// Section 1.1: a record pair maps to the point of its similarity scores
+// sim_1..sim_d; a monotone classifier over those scores is an explainable
+// match rule). All metrics return values in [0, 1] with 1 = identical.
+
+#ifndef MONOCLASS_DATA_SIMILARITY_H_
+#define MONOCLASS_DATA_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monoclass {
+
+// 1 - edit_distance / max(|a|, |b|); 1 for two empty strings.
+double NormalizedLevenshtein(std::string_view a, std::string_view b);
+
+// Jaccard similarity of the q-gram multisets (default trigrams; strings
+// shorter than q count as one short gram).
+double QGramJaccard(std::string_view a, std::string_view b, size_t q = 3);
+
+// Jaro-Winkler similarity with the standard prefix scale 0.1 (capped at 4).
+double JaroWinkler(std::string_view a, std::string_view b);
+
+// Jaccard similarity of whitespace-token sets.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+// Length of the longest common prefix over the longer length.
+double PrefixSimilarity(std::string_view a, std::string_view b);
+
+// Splits on runs of whitespace.
+std::vector<std::string> SplitTokens(std::string_view text);
+
+// The default similarity feature vector (one value per metric above, in
+// the order: levenshtein, qgram-jaccard, jaro-winkler, token-jaccard,
+// prefix). `dimension` truncates to the first d metrics (1 <= d <= 5).
+std::vector<double> SimilarityVector(std::string_view a, std::string_view b,
+                                     size_t dimension = 4);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_DATA_SIMILARITY_H_

@@ -1,0 +1,132 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace monoclass {
+
+PlantedInstance GeneratePlanted(const PlantedOptions& options) {
+  MC_CHECK_GE(options.num_points, 1u);
+  MC_CHECK_GE(options.dimension, 1u);
+  MC_CHECK_LE(options.noise_flips, options.num_points);
+  Rng rng(options.seed);
+
+  // h*(x) = 1 iff sum_i x_i > d/2: a single-generator representation does
+  // not express a halfspace, so keep the threshold rule for labeling and
+  // record it as a (large) generator antichain is unnecessary -- for the
+  // experiments only the labels matter. We still return a MonotoneClassifier
+  // view for diagnostics: the sum rule restricted to sampled points is
+  // realized through FromAssignment below.
+  const double threshold = static_cast<double>(options.dimension) / 2.0;
+  PointSet points;
+  std::vector<Label> clean_labels(options.num_points);
+  for (size_t i = 0; i < options.num_points; ++i) {
+    std::vector<double> coords(options.dimension);
+    double sum = 0.0;
+    for (auto& c : coords) {
+      c = rng.UniformDouble();
+      sum += c;
+    }
+    points.Add(Point(std::move(coords)));
+    clean_labels[i] = sum > threshold ? 1 : 0;
+  }
+
+  // The sum rule is monotone, so the clean assignment always extends.
+  auto planted = MonotoneClassifier::FromAssignment(points, clean_labels);
+  MC_CHECK(planted.has_value());
+
+  std::vector<Label> noisy = clean_labels;
+  std::vector<size_t> flipped =
+      rng.SampleWithoutReplacement(options.num_points, options.noise_flips);
+  std::sort(flipped.begin(), flipped.end());
+  for (const size_t i : flipped) noisy[i] = static_cast<Label>(1 - noisy[i]);
+
+  return PlantedInstance{LabeledPointSet(std::move(points), std::move(noisy)),
+                         *std::move(planted), std::move(flipped)};
+}
+
+ChainInstance GenerateChainInstance(const ChainInstanceOptions& options) {
+  MC_CHECK_GE(options.num_chains, 1u);
+  MC_CHECK_GE(options.chain_length, 1u);
+  MC_CHECK_GE(options.dimension, 2u)
+      << "staircase chains need two dimensions for incomparability";
+  MC_CHECK_LE(options.noise_per_chain, options.chain_length);
+  Rng rng(options.seed);
+
+  const size_t w = options.num_chains;
+  const size_t m = options.chain_length;
+  // Bands of size m+1 keep chains disjoint: chain i uses
+  //   x in [i(m+1), i(m+1)+m],  y in [(w-1-i)(m+1), (w-1-i)(m+1)+m],
+  // so a later chain always has strictly larger x and strictly smaller y
+  // than an earlier chain -- every cross-chain pair is incomparable.
+  const double band = static_cast<double>(m + 1);
+
+  ChainInstance instance;
+  instance.thresholds.resize(w);
+  PointSet points;
+  std::vector<Label> labels;
+  instance.chains.chains.resize(w);
+  for (size_t i = 0; i < w; ++i) {
+    instance.thresholds[i] =
+        static_cast<size_t>(rng.UniformInt(m + 1));  // in [0, m]
+    // Choose which ranks of this chain get flipped.
+    std::vector<size_t> flips;
+    if (options.noise_mode == NoiseMode::kUniform) {
+      flips = rng.SampleWithoutReplacement(m, options.noise_per_chain);
+    } else {
+      // Boundary noise: flip within a window of 4x the noise budget
+      // centred on the planted threshold (clamped to the chain).
+      const size_t window = std::min(m, 4 * options.noise_per_chain);
+      size_t window_begin =
+          instance.thresholds[i] > window / 2
+              ? instance.thresholds[i] - window / 2
+              : 0;
+      window_begin = std::min(window_begin, m - window);
+      flips = rng.SampleWithoutReplacement(window,
+                                           options.noise_per_chain);
+      for (auto& r : flips) r += window_begin;
+    }
+    std::vector<bool> flip_at(m, false);
+    for (const size_t r : flips) flip_at[r] = true;
+    instance.total_flips += flips.size();
+
+    for (size_t r = 0; r < m; ++r) {
+      std::vector<double> coords(options.dimension);
+      coords[0] = static_cast<double>(i) * band + static_cast<double>(r);
+      coords[1] = static_cast<double>(w - 1 - i) * band +
+                  static_cast<double>(r);
+      for (size_t dim = 2; dim < options.dimension; ++dim) {
+        coords[dim] = static_cast<double>(r);  // ascends with the chain
+      }
+      instance.chains.chains[i].push_back(points.size());
+      points.Add(Point(std::move(coords)));
+      Label label = r >= instance.thresholds[i] ? 1 : 0;
+      if (flip_at[r]) label = static_cast<Label>(1 - label);
+      labels.push_back(label);
+    }
+  }
+  instance.data = LabeledPointSet(std::move(points), std::move(labels));
+  return instance;
+}
+
+TrainTestSplit SplitTrainTest(const LabeledPointSet& data,
+                              double train_fraction, uint64_t seed) {
+  MC_CHECK_GE(train_fraction, 0.0);
+  MC_CHECK_LE(train_fraction, 1.0);
+  Rng rng(seed);
+  TrainTestSplit split;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (rng.Bernoulli(train_fraction)) {
+      split.train.Add(data.point(i), data.label(i));
+    } else {
+      split.test.Add(data.point(i), data.label(i));
+    }
+  }
+  return split;
+}
+
+}  // namespace monoclass

@@ -1,0 +1,96 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Synthetic workload generators for the experiments.
+//
+// Two families:
+//   * Planted instances -- uniform points in [0,1]^d labeled by a hidden
+//     monotone classifier, then corrupted by label noise. The noise count
+//     upper-bounds k*, giving controlled approximation targets (E2, E6).
+//   * Chain instances -- exactly w mutually incomparable chains of equal
+//     length, labeled by per-chain planted thresholds plus noise. The
+//     dominance width is w *by construction*, so probe-cost scaling in w
+//     (E5, E7) can be swept without paying the O(n^2) Lemma 6 step: the
+//     generator returns the true decomposition for
+//     ActiveSolveOptions::precomputed_chains.
+
+#ifndef MONOCLASS_DATA_SYNTHETIC_H_
+#define MONOCLASS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/chain_decomposition.h"
+#include "core/classifier.h"
+#include "core/dataset.h"
+
+namespace monoclass {
+
+struct PlantedOptions {
+  size_t num_points = 1000;
+  size_t dimension = 2;
+  // Exactly this many labels are flipped after planting (so k* <= flips).
+  size_t noise_flips = 0;
+  uint64_t seed = 1;
+};
+
+struct PlantedInstance {
+  LabeledPointSet data;
+  // The noiseless planted classifier (h*(x) = 1 iff sum x_i > d/2).
+  MonotoneClassifier planted;
+  // Indices whose label was flipped.
+  std::vector<size_t> flipped;
+};
+
+// Uniform points in [0,1]^d labeled by the planted classifier with noise.
+PlantedInstance GeneratePlanted(const PlantedOptions& options);
+
+// Where label noise lands relative to the planted threshold.
+enum class NoiseMode {
+  // Flips uniformly random positions of the chain.
+  kUniform,
+  // Flips positions concentrated around the planted threshold -- the
+  // hardest placement for threshold-searching algorithms, since every
+  // sample near the boundary is ambiguous (used by the noise-placement
+  // ablation in bench_active_error).
+  kBoundary,
+};
+
+struct ChainInstanceOptions {
+  size_t num_chains = 8;        // the dominance width w
+  size_t chain_length = 128;    // n = num_chains * chain_length
+  size_t dimension = 2;         // >= 2
+  // Per-chain count of flipped labels (k* <= num_chains * noise_per_chain).
+  size_t noise_per_chain = 0;
+  NoiseMode noise_mode = NoiseMode::kUniform;
+  uint64_t seed = 1;
+};
+
+struct ChainInstance {
+  LabeledPointSet data;
+  // The true minimum chain decomposition (w chains by construction).
+  ChainDecomposition chains;
+  // Planted per-chain thresholds: rank >= threshold[i] was labeled 1
+  // before noise.
+  std::vector<size_t> thresholds;
+  // Total number of flipped labels.
+  size_t total_flips = 0;
+};
+
+// Builds w staircase chains: chain i occupies an x-band increasing in i
+// and a y-band decreasing in i, so points of different chains are always
+// incomparable while each chain ascends -- the width is exactly w.
+ChainInstance GenerateChainInstance(const ChainInstanceOptions& options);
+
+// Random train/test partition for generalization experiments: each point
+// lands in train with probability `train_fraction`, independently.
+struct TrainTestSplit {
+  LabeledPointSet train;
+  LabeledPointSet test;
+};
+TrainTestSplit SplitTrainTest(const LabeledPointSet& data,
+                              double train_fraction, uint64_t seed);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_DATA_SYNTHETIC_H_

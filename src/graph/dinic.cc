@@ -1,0 +1,78 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/dinic.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace monoclass {
+
+bool DinicSolver::BuildLevels(const FlowNetwork& network, int source,
+                              int sink) {
+  level_.assign(static_cast<size_t>(network.NumVertices()), -1);
+  std::deque<int> queue;
+  level_[static_cast<size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (const auto& edge : network.adjacency(u)) {
+      if (edge.residual > kFlowEps &&
+          level_[static_cast<size_t>(edge.to)] < 0) {
+        level_[static_cast<size_t>(edge.to)] =
+            level_[static_cast<size_t>(u)] + 1;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(sink)] >= 0;
+}
+
+double DinicSolver::Augment(FlowNetwork& network, int vertex, int sink,
+                            double limit) {
+  if (vertex == sink || limit <= kFlowEps) return limit;
+  double pushed = 0.0;
+  auto& edges = network.adjacency(vertex);
+  // next_edge_ implements the "current arc" optimization: once an edge is
+  // exhausted within a phase it is never retried.
+  for (size_t& i = next_edge_[static_cast<size_t>(vertex)]; i < edges.size();
+       ++i) {
+    auto& edge = edges[i];
+    if (edge.residual <= kFlowEps ||
+        level_[static_cast<size_t>(edge.to)] !=
+            level_[static_cast<size_t>(vertex)] + 1) {
+      continue;
+    }
+    const double sent = Augment(network, edge.to, sink,
+                                std::min(limit - pushed, edge.residual));
+    if (sent > kFlowEps) {
+      edge.residual -= sent;
+      network.adjacency(edge.to)[edge.rev].residual += sent;
+      pushed += sent;
+      if (limit - pushed <= kFlowEps) break;
+    }
+  }
+  return pushed;
+}
+
+double DinicSolver::Solve(FlowNetwork& network, int source, int sink) {
+  MC_CHECK(network.IsValidVertex(source));
+  MC_CHECK(network.IsValidVertex(sink));
+  MC_CHECK_NE(source, sink);
+
+  double total_flow = 0.0;
+  while (BuildLevels(network, source, sink)) {
+    next_edge_.assign(static_cast<size_t>(network.NumVertices()), 0);
+    while (true) {
+      const double sent = Augment(network, source, sink,
+                                  std::numeric_limits<double>::infinity());
+      if (sent <= kFlowEps) break;
+      total_flow += sent;
+    }
+  }
+  return total_flow;
+}
+
+}  // namespace monoclass

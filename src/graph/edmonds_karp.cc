@@ -1,0 +1,72 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/edmonds_karp.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace monoclass {
+
+double EdmondsKarpSolver::Solve(FlowNetwork& network, int source, int sink) {
+  MC_CHECK(network.IsValidVertex(source));
+  MC_CHECK(network.IsValidVertex(sink));
+  MC_CHECK_NE(source, sink);
+
+  const auto num_vertices = static_cast<size_t>(network.NumVertices());
+  double total_flow = 0.0;
+
+  // parent_edge[v] = (vertex u, index of the edge u->v used to reach v).
+  std::vector<std::pair<int, size_t>> parent_edge(num_vertices);
+  std::vector<bool> visited(num_vertices);
+
+  while (true) {
+    std::fill(visited.begin(), visited.end(), false);
+    std::deque<int> queue;
+    visited[static_cast<size_t>(source)] = true;
+    queue.push_back(source);
+    bool found_sink = false;
+    while (!queue.empty() && !found_sink) {
+      const int u = queue.front();
+      queue.pop_front();
+      const auto& edges = network.adjacency(u);
+      for (size_t i = 0; i < edges.size(); ++i) {
+        const auto& edge = edges[i];
+        if (edge.residual <= kFlowEps ||
+            visited[static_cast<size_t>(edge.to)]) {
+          continue;
+        }
+        visited[static_cast<size_t>(edge.to)] = true;
+        parent_edge[static_cast<size_t>(edge.to)] = {u, i};
+        if (edge.to == sink) {
+          found_sink = true;
+          break;
+        }
+        queue.push_back(edge.to);
+      }
+    }
+    if (!found_sink) break;
+
+    // Bottleneck along the BFS path.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (int v = sink; v != source;) {
+      const auto [u, i] = parent_edge[static_cast<size_t>(v)];
+      bottleneck = std::min(bottleneck, network.adjacency(u)[i].residual);
+      v = u;
+    }
+    // Augment.
+    for (int v = sink; v != source;) {
+      const auto [u, i] = parent_edge[static_cast<size_t>(v)];
+      auto& forward = network.adjacency(u)[i];
+      forward.residual -= bottleneck;
+      network.adjacency(v)[forward.rev].residual += bottleneck;
+      v = u;
+    }
+    total_flow += bottleneck;
+  }
+  return total_flow;
+}
+
+}  // namespace monoclass

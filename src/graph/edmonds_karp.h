@@ -1,0 +1,25 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Edmonds-Karp maximum flow: Ford-Fulkerson with shortest (BFS) augmenting
+// paths, O(V E^2). Included as the simplest correct baseline; the default
+// production solver is DinicSolver.
+
+#ifndef MONOCLASS_GRAPH_EDMONDS_KARP_H_
+#define MONOCLASS_GRAPH_EDMONDS_KARP_H_
+
+#include <string>
+
+#include "graph/max_flow.h"
+
+namespace monoclass {
+
+class EdmondsKarpSolver final : public MaxFlowSolver {
+ public:
+  double Solve(FlowNetwork& network, int source, int sink) override;
+  std::string Name() const override { return "edmonds-karp"; }
+};
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_GRAPH_EDMONDS_KARP_H_

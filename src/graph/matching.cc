@@ -1,0 +1,179 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/matching.h"
+
+#include <deque>
+#include <limits>
+
+namespace monoclass {
+namespace {
+
+constexpr int kUnmatched = -1;
+constexpr int kInfDist = std::numeric_limits<int>::max();
+
+// One Hopcroft-Karp phase: BFS layers left vertices by shortest alternating
+// distance from any unmatched left vertex. Returns false when no augmenting
+// path exists (matching is maximum).
+bool HopcroftKarpBfs(const BipartiteGraph& graph, const Matching& matching,
+                     std::vector<int>& dist) {
+  std::deque<int> queue;
+  bool reachable_free_right = false;
+  for (int l = 0; l < graph.NumLeft(); ++l) {
+    if (matching.left_to_right[static_cast<size_t>(l)] == kUnmatched) {
+      dist[static_cast<size_t>(l)] = 0;
+      queue.push_back(l);
+    } else {
+      dist[static_cast<size_t>(l)] = kInfDist;
+    }
+  }
+  while (!queue.empty()) {
+    const int l = queue.front();
+    queue.pop_front();
+    for (const int r : graph.Neighbors(l)) {
+      const int next = matching.right_to_left[static_cast<size_t>(r)];
+      if (next == kUnmatched) {
+        reachable_free_right = true;
+      } else if (dist[static_cast<size_t>(next)] == kInfDist) {
+        dist[static_cast<size_t>(next)] = dist[static_cast<size_t>(l)] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return reachable_free_right;
+}
+
+// DFS along the BFS layering; flips matched edges along one augmenting path.
+bool HopcroftKarpDfs(const BipartiteGraph& graph, Matching& matching,
+                     std::vector<int>& dist, std::vector<size_t>& next_edge,
+                     int l) {
+  const auto& neighbors = graph.Neighbors(l);
+  for (size_t& i = next_edge[static_cast<size_t>(l)]; i < neighbors.size();
+       ++i) {
+    const int r = neighbors[i];
+    const int next = matching.right_to_left[static_cast<size_t>(r)];
+    const bool extendable =
+        next == kUnmatched ||
+        (dist[static_cast<size_t>(next)] == dist[static_cast<size_t>(l)] + 1 &&
+         HopcroftKarpDfs(graph, matching, dist, next_edge, next));
+    if (extendable) {
+      matching.left_to_right[static_cast<size_t>(l)] = r;
+      matching.right_to_left[static_cast<size_t>(r)] = l;
+      ++i;  // do not retry this edge within the phase
+      return true;
+    }
+  }
+  dist[static_cast<size_t>(l)] = kInfDist;  // dead end for this phase
+  return false;
+}
+
+// Kuhn DFS: tries to find an augmenting path from left vertex l.
+bool KuhnTryAugment(const BipartiteGraph& graph, Matching& matching,
+                    std::vector<bool>& visited_right, int l) {
+  for (const int r : graph.Neighbors(l)) {
+    if (visited_right[static_cast<size_t>(r)]) continue;
+    visited_right[static_cast<size_t>(r)] = true;
+    const int occupant = matching.right_to_left[static_cast<size_t>(r)];
+    if (occupant == kUnmatched ||
+        KuhnTryAugment(graph, matching, visited_right, occupant)) {
+      matching.left_to_right[static_cast<size_t>(l)] = r;
+      matching.right_to_left[static_cast<size_t>(r)] = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+Matching EmptyMatching(const BipartiteGraph& graph) {
+  Matching matching;
+  matching.left_to_right.assign(static_cast<size_t>(graph.NumLeft()),
+                                kUnmatched);
+  matching.right_to_left.assign(static_cast<size_t>(graph.NumRight()),
+                                kUnmatched);
+  matching.size = 0;
+  return matching;
+}
+
+}  // namespace
+
+Matching HopcroftKarpMatching(const BipartiteGraph& graph) {
+  Matching matching = EmptyMatching(graph);
+  std::vector<int> dist(static_cast<size_t>(graph.NumLeft()));
+  std::vector<size_t> next_edge(static_cast<size_t>(graph.NumLeft()));
+  while (HopcroftKarpBfs(graph, matching, dist)) {
+    std::fill(next_edge.begin(), next_edge.end(), size_t{0});
+    for (int l = 0; l < graph.NumLeft(); ++l) {
+      if (matching.left_to_right[static_cast<size_t>(l)] == kUnmatched &&
+          HopcroftKarpDfs(graph, matching, dist, next_edge, l)) {
+        ++matching.size;
+      }
+    }
+  }
+  return matching;
+}
+
+Matching KuhnMatching(const BipartiteGraph& graph) {
+  Matching matching = EmptyMatching(graph);
+  std::vector<bool> visited_right(static_cast<size_t>(graph.NumRight()));
+  for (int l = 0; l < graph.NumLeft(); ++l) {
+    std::fill(visited_right.begin(), visited_right.end(), false);
+    if (KuhnTryAugment(graph, matching, visited_right, l)) {
+      ++matching.size;
+    }
+  }
+  return matching;
+}
+
+VertexCover KonigVertexCover(const BipartiteGraph& graph,
+                             const Matching& matching) {
+  MC_CHECK_EQ(matching.left_to_right.size(),
+              static_cast<size_t>(graph.NumLeft()));
+  MC_CHECK_EQ(matching.right_to_left.size(),
+              static_cast<size_t>(graph.NumRight()));
+
+  // Alternating BFS from unmatched left vertices: left -> right along
+  // non-matching edges, right -> left along matching edges.
+  std::vector<bool> left_visited(static_cast<size_t>(graph.NumLeft()), false);
+  std::vector<bool> right_visited(static_cast<size_t>(graph.NumRight()),
+                                  false);
+  std::deque<int> queue;
+  for (int l = 0; l < graph.NumLeft(); ++l) {
+    if (matching.left_to_right[static_cast<size_t>(l)] == kUnmatched) {
+      left_visited[static_cast<size_t>(l)] = true;
+      queue.push_back(l);
+    }
+  }
+  while (!queue.empty()) {
+    const int l = queue.front();
+    queue.pop_front();
+    for (const int r : graph.Neighbors(l)) {
+      if (matching.left_to_right[static_cast<size_t>(l)] == r) continue;
+      if (right_visited[static_cast<size_t>(r)]) continue;
+      right_visited[static_cast<size_t>(r)] = true;
+      const int next = matching.right_to_left[static_cast<size_t>(r)];
+      if (next != kUnmatched && !left_visited[static_cast<size_t>(next)]) {
+        left_visited[static_cast<size_t>(next)] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+
+  VertexCover cover;
+  cover.left.assign(static_cast<size_t>(graph.NumLeft()), false);
+  cover.right.assign(static_cast<size_t>(graph.NumRight()), false);
+  for (int l = 0; l < graph.NumLeft(); ++l) {
+    if (!left_visited[static_cast<size_t>(l)]) {
+      cover.left[static_cast<size_t>(l)] = true;
+      ++cover.size;
+    }
+  }
+  for (int r = 0; r < graph.NumRight(); ++r) {
+    if (right_visited[static_cast<size_t>(r)]) {
+      cover.right[static_cast<size_t>(r)] = true;
+      ++cover.size;
+    }
+  }
+  return cover;
+}
+
+}  // namespace monoclass

@@ -1,0 +1,45 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Bipartite maximum matching and its companions:
+//
+//   * HopcroftKarpMatching -- O(E sqrt(V)) phased BFS/DFS matching [16];
+//     this is what gives Lemma 6 its n^2.5 term.
+//   * KuhnMatching         -- O(VE) augmenting-path matching; simple
+//     independent oracle used to cross-check Hopcroft-Karp in tests.
+//   * KonigVertexCover     -- minimum vertex cover from a maximum matching
+//     via Koenig's theorem; used to extract a maximum antichain
+//     (the dominance-width witness) in core/antichain.
+
+#ifndef MONOCLASS_GRAPH_MATCHING_H_
+#define MONOCLASS_GRAPH_MATCHING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace monoclass {
+
+// Computes a maximum matching with the Hopcroft-Karp algorithm.
+Matching HopcroftKarpMatching(const BipartiteGraph& graph);
+
+// Computes a maximum matching with Kuhn's augmenting-path algorithm.
+Matching KuhnMatching(const BipartiteGraph& graph);
+
+// A minimum vertex cover of a bipartite graph, one flag per vertex side.
+struct VertexCover {
+  std::vector<bool> left;   // size NumLeft
+  std::vector<bool> right;  // size NumRight
+  int size = 0;
+};
+
+// Derives a minimum vertex cover from a *maximum* matching via Koenig's
+// theorem: with Z the set of vertices alternating-reachable from unmatched
+// left vertices, the cover is (L \ Z) union (R intersect Z). The
+// complement of the cover is a maximum independent set.
+VertexCover KonigVertexCover(const BipartiteGraph& graph,
+                             const Matching& matching);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_GRAPH_MATCHING_H_

@@ -1,0 +1,48 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/path_cover.h"
+
+#include "graph/matching.h"
+
+namespace monoclass {
+
+PathCoverResult MinimumPathCoverWithMatching(const DagAdjacency& dag) {
+  const auto n = static_cast<int>(dag.size());
+  BipartiteGraph split(n, n);
+  for (int u = 0; u < n; ++u) {
+    for (const int v : dag[static_cast<size_t>(u)]) {
+      MC_CHECK_GE(v, 0);
+      MC_CHECK_LT(v, n);
+      MC_DCHECK_NE(u, v) << "self-loop breaks acyclicity";
+      split.AddEdge(u, v);
+    }
+  }
+  PathCoverResult result;
+  result.matching = HopcroftKarpMatching(split);
+
+  // A matched pair (u -> v) means v directly follows u on its path. Path
+  // heads are the vertices with no matched predecessor.
+  const auto& successor = result.matching.left_to_right;
+  const auto& predecessor = result.matching.right_to_left;
+  std::vector<bool> emitted(static_cast<size_t>(n), false);
+  for (int head = 0; head < n; ++head) {
+    if (predecessor[static_cast<size_t>(head)] != -1) continue;
+    std::vector<int> path;
+    int v = head;
+    while (v != -1) {
+      MC_DCHECK(!emitted[static_cast<size_t>(v)]) << "cycle in DAG input";
+      emitted[static_cast<size_t>(v)] = true;
+      path.push_back(v);
+      v = successor[static_cast<size_t>(v)];
+    }
+    result.paths.push_back(std::move(path));
+  }
+  return result;
+}
+
+std::vector<std::vector<int>> MinimumPathCover(const DagAdjacency& dag) {
+  return MinimumPathCoverWithMatching(dag).paths;
+}
+
+}  // namespace monoclass

@@ -1,0 +1,43 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimum vertex-disjoint path cover of a DAG via the classic reduction to
+// bipartite matching: split every vertex v into (out_v, in_v), add an edge
+// out_u -> in_v for every DAG edge u -> v, compute a maximum matching M,
+// and stitch matched pairs into paths. The cover size is V - |M|.
+//
+// This is the engine behind the paper's Lemma 6: the dominance relation is
+// transitive, so a minimum path cover of the dominance DAG is a minimum
+// *chain* decomposition, and by Dilworth's theorem its size equals the
+// dominance width w.
+
+#ifndef MONOCLASS_GRAPH_PATH_COVER_H_
+#define MONOCLASS_GRAPH_PATH_COVER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace monoclass {
+
+// Adjacency-list DAG on vertices 0..n-1. Callers are responsible for
+// acyclicity; the path stitching would loop forever on a cycle, so a debug
+// build checks.
+using DagAdjacency = std::vector<std::vector<int>>;
+
+// Returns a minimum vertex-disjoint path cover: every vertex appears in
+// exactly one path, each path follows DAG edges, and the number of paths is
+// the minimum possible (V - maximum matching of the split graph).
+std::vector<std::vector<int>> MinimumPathCover(const DagAdjacency& dag);
+
+// Same, but also exposes the underlying matching (used by core/antichain to
+// run Koenig's construction on the identical split graph).
+struct PathCoverResult {
+  std::vector<std::vector<int>> paths;
+  Matching matching;  // over the split bipartite graph
+};
+PathCoverResult MinimumPathCoverWithMatching(const DagAdjacency& dag);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_GRAPH_PATH_COVER_H_

@@ -1,0 +1,221 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/push_relabel.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace monoclass {
+namespace {
+
+// Shared state for one Solve() invocation. Kept in a struct (rather than
+// solver members) so the solver object stays stateless and reusable.
+struct PushRelabelState {
+  FlowNetwork& network;
+  int source;
+  int sink;
+  int num_vertices;
+
+  std::vector<double> excess;
+  std::vector<int> height;
+  std::vector<size_t> current_arc;
+  // height_count[h] = number of vertices at height h (gap heuristic).
+  std::vector<int> height_count;
+
+  PushRelabelState(FlowNetwork& net, int src, int snk)
+      : network(net),
+        source(src),
+        sink(snk),
+        num_vertices(net.NumVertices()),
+        excess(static_cast<size_t>(net.NumVertices()), 0.0),
+        height(static_cast<size_t>(net.NumVertices()), 0),
+        current_arc(static_cast<size_t>(net.NumVertices()), 0),
+        height_count(2 * static_cast<size_t>(net.NumVertices()) + 1, 0) {}
+
+  bool IsActive(int v) const {
+    return v != source && v != sink &&
+           excess[static_cast<size_t>(v)] > kFlowEps &&
+           height[static_cast<size_t>(v)] < 2 * num_vertices;
+  }
+
+  // Exact initial labels: height = BFS distance to the sink in the reverse
+  // residual graph; unreachable vertices (and the source) start at V.
+  void InitializeHeights() {
+    std::fill(height.begin(), height.end(), num_vertices);
+    height[static_cast<size_t>(sink)] = 0;
+    std::deque<int> queue{sink};
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      // An edge v->u admits flow towards u iff its residual is positive;
+      // scan u's adjacency for reverse twins to find such v cheaply.
+      for (const auto& edge : network.adjacency(u)) {
+        const int v = edge.to;
+        const auto& forward = network.adjacency(v)[edge.rev];
+        if (forward.residual > kFlowEps &&
+            height[static_cast<size_t>(v)] == num_vertices && v != source) {
+          height[static_cast<size_t>(v)] = height[static_cast<size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    height[static_cast<size_t>(source)] = num_vertices;
+    std::fill(height_count.begin(), height_count.end(), 0);
+    for (int v = 0; v < num_vertices; ++v) {
+      ++height_count[static_cast<size_t>(height[static_cast<size_t>(v)])];
+    }
+  }
+
+  // Saturates all edges out of the source.
+  void SaturateSource() {
+    for (auto& edge : network.adjacency(source)) {
+      if (edge.residual <= kFlowEps) continue;
+      const double amount = edge.residual;
+      edge.residual = 0.0;
+      network.adjacency(edge.to)[edge.rev].residual += amount;
+      excess[static_cast<size_t>(edge.to)] += amount;
+      excess[static_cast<size_t>(source)] -= amount;
+    }
+  }
+
+  // Pushes min(excess, residual) along the given admissible edge.
+  void Push(int u, FlowNetwork::Edge& edge) {
+    const double amount =
+        std::min(excess[static_cast<size_t>(u)], edge.residual);
+    edge.residual -= amount;
+    network.adjacency(edge.to)[edge.rev].residual += amount;
+    excess[static_cast<size_t>(u)] -= amount;
+    excess[static_cast<size_t>(edge.to)] += amount;
+  }
+
+  // Lifts u to 1 + min height over residual out-neighbors; applies the gap
+  // heuristic when u's old height level empties.
+  void Relabel(int u) {
+    const int old_height = height[static_cast<size_t>(u)];
+    int min_neighbor = 2 * num_vertices;
+    for (const auto& edge : network.adjacency(u)) {
+      if (edge.residual > kFlowEps) {
+        min_neighbor =
+            std::min(min_neighbor, height[static_cast<size_t>(edge.to)]);
+      }
+    }
+    const int new_height = std::min(min_neighbor + 1, 2 * num_vertices);
+    --height_count[static_cast<size_t>(old_height)];
+    height[static_cast<size_t>(u)] = new_height;
+    ++height_count[static_cast<size_t>(new_height)];
+    current_arc[static_cast<size_t>(u)] = 0;
+
+    if (height_count[static_cast<size_t>(old_height)] == 0 &&
+        old_height < num_vertices) {
+      // Gap heuristic: no vertex can route to the sink through the empty
+      // level, so lift everything stranded above it past V.
+      for (int v = 0; v < num_vertices; ++v) {
+        const int h = height[static_cast<size_t>(v)];
+        if (h > old_height && h < num_vertices && v != source) {
+          --height_count[static_cast<size_t>(h)];
+          height[static_cast<size_t>(v)] = num_vertices + 1;
+          ++height_count[static_cast<size_t>(num_vertices + 1)];
+        }
+      }
+    }
+  }
+
+  // Applies push/relabel steps at u until its excess is exhausted or u is
+  // relabeled. Returns true if u is still active (was relabeled with excess
+  // remaining).
+  bool Discharge(int u) {
+    auto& edges = network.adjacency(u);
+    while (excess[static_cast<size_t>(u)] > kFlowEps) {
+      if (current_arc[static_cast<size_t>(u)] >= edges.size()) {
+        Relabel(u);
+        return IsActive(u);
+      }
+      auto& edge = edges[current_arc[static_cast<size_t>(u)]];
+      if (edge.residual > kFlowEps &&
+          height[static_cast<size_t>(u)] ==
+              height[static_cast<size_t>(edge.to)] + 1) {
+        Push(u, edge);
+      } else {
+        ++current_arc[static_cast<size_t>(u)];
+      }
+    }
+    return false;
+  }
+};
+
+double SolveFifo(PushRelabelState& state) {
+  std::deque<int> active;
+  std::vector<bool> queued(static_cast<size_t>(state.num_vertices), false);
+  auto enqueue = [&](int v) {
+    if (state.IsActive(v) && !queued[static_cast<size_t>(v)]) {
+      queued[static_cast<size_t>(v)] = true;
+      active.push_back(v);
+    }
+  };
+  for (int v = 0; v < state.num_vertices; ++v) enqueue(v);
+  while (!active.empty()) {
+    const int u = active.front();
+    active.pop_front();
+    queued[static_cast<size_t>(u)] = false;
+    // Record the push targets by scanning excess deltas is unnecessary:
+    // any vertex that gained excess is (re-)enqueued below.
+    const bool still_active = state.Discharge(u);
+    for (const auto& edge : state.network.adjacency(u)) enqueue(edge.to);
+    if (still_active) enqueue(u);
+  }
+  return state.excess[static_cast<size_t>(state.sink)];
+}
+
+double SolveHighestLabel(PushRelabelState& state) {
+  const auto num_levels = static_cast<size_t>(2 * state.num_vertices + 1);
+  std::vector<std::vector<int>> buckets(num_levels);
+  std::vector<bool> queued(static_cast<size_t>(state.num_vertices), false);
+  int highest = 0;
+  auto enqueue = [&](int v) {
+    if (state.IsActive(v) && !queued[static_cast<size_t>(v)]) {
+      queued[static_cast<size_t>(v)] = true;
+      const int h = state.height[static_cast<size_t>(v)];
+      buckets[static_cast<size_t>(h)].push_back(v);
+      highest = std::max(highest, h);
+    }
+  };
+  for (int v = 0; v < state.num_vertices; ++v) enqueue(v);
+  while (highest >= 0) {
+    auto& bucket = buckets[static_cast<size_t>(highest)];
+    if (bucket.empty()) {
+      --highest;
+      continue;
+    }
+    const int u = bucket.back();
+    bucket.pop_back();
+    queued[static_cast<size_t>(u)] = false;
+    // Height may have changed since enqueue (gap heuristic); requeue at the
+    // right level if stale.
+    if (state.height[static_cast<size_t>(u)] != highest) {
+      enqueue(u);
+      continue;
+    }
+    const bool still_active = state.Discharge(u);
+    for (const auto& edge : state.network.adjacency(u)) enqueue(edge.to);
+    if (still_active) enqueue(u);
+  }
+  return state.excess[static_cast<size_t>(state.sink)];
+}
+
+}  // namespace
+
+double PushRelabelSolver::Solve(FlowNetwork& network, int source, int sink) {
+  MC_CHECK(network.IsValidVertex(source));
+  MC_CHECK(network.IsValidVertex(sink));
+  MC_CHECK_NE(source, sink);
+
+  PushRelabelState state(network, source, sink);
+  state.InitializeHeights();
+  state.SaturateSource();
+  return rule_ == SelectionRule::kFifo ? SolveFifo(state)
+                                       : SolveHighestLabel(state);
+}
+
+}  // namespace monoclass

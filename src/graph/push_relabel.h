@@ -1,0 +1,41 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Goldberg-Tarjan push-relabel maximum flow (JACM 1988) -- the algorithm
+// the paper cites for its T_maxflow(n) = O(n^3) bound in Theorem 4.
+//
+// Two active-vertex selection rules are provided:
+//   * kFifo         -- the classic O(V^3) FIFO variant;
+//   * kHighestLabel -- highest-label selection, O(V^2 sqrt(E)).
+// Both use the gap heuristic and an exact initial labeling (backwards BFS
+// from the sink), which dominate practical performance.
+
+#ifndef MONOCLASS_GRAPH_PUSH_RELABEL_H_
+#define MONOCLASS_GRAPH_PUSH_RELABEL_H_
+
+#include <string>
+
+#include "graph/max_flow.h"
+
+namespace monoclass {
+
+class PushRelabelSolver final : public MaxFlowSolver {
+ public:
+  enum class SelectionRule { kFifo, kHighestLabel };
+
+  explicit PushRelabelSolver(SelectionRule rule) : rule_(rule) {}
+
+  double Solve(FlowNetwork& network, int source, int sink) override;
+
+  std::string Name() const override {
+    return rule_ == SelectionRule::kFifo ? "push-relabel-fifo"
+                                         : "push-relabel-highest";
+  }
+
+ private:
+  SelectionRule rule_;
+};
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_GRAPH_PUSH_RELABEL_H_

@@ -1,0 +1,301 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "io/serialization.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace monoclass {
+namespace {
+
+void SetError(std::string* error, size_t line_number,
+              const std::string& message) {
+  if (error != nullptr) {
+    std::ostringstream out;
+    out << "line " << line_number << ": " << message;
+    *error = out.str();
+  }
+}
+
+// Splits a CSV line on commas, trimming surrounding spaces.
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (const char c : line) {
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  for (auto& field : fields) {
+    const size_t begin = field.find_first_not_of(" \t\r");
+    const size_t end = field.find_last_not_of(" \t\r");
+    field = begin == std::string::npos
+                ? std::string()
+                : field.substr(begin, end - begin + 1);
+  }
+  return fields;
+}
+
+bool ParseDouble(const std::string& text, double* value) {
+  if (text == "-inf") {
+    *value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "inf") {
+    *value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno != 0 ||
+      std::isnan(parsed)) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+// Writes a double losslessly; hexfloat round-trips exactly.
+void WriteDouble(std::ostream& out, double value) {
+  if (value == -std::numeric_limits<double>::infinity()) {
+    out << "-inf";
+  } else if (value == std::numeric_limits<double>::infinity()) {
+    out << "inf";
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out << buffer;
+  }
+}
+
+// Reads lines, skipping blanks and '#' comments; `line_number` tracks the
+// physical line for error messages.
+bool NextDataLine(std::istream& in, std::string* line,
+                  size_t* line_number) {
+  while (std::getline(in, *line)) {
+    ++*line_number;
+    const size_t begin = line->find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;    // blank
+    if ((*line)[begin] == '#') continue;         // comment
+    return true;
+  }
+  return false;
+}
+
+// Shared CSV point reader: `trailing` = number of non-coordinate fields.
+template <typename RowFn>
+bool ReadCsvRows(std::istream& in, size_t trailing, std::string* error,
+                 const RowFn& row_fn) {
+  std::string line;
+  size_t line_number = 0;
+  size_t dimension = 0;
+  while (NextDataLine(in, &line, &line_number)) {
+    const std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() <= trailing) {
+      SetError(error, line_number, "too few fields");
+      return false;
+    }
+    const size_t d = fields.size() - trailing;
+    if (dimension == 0) {
+      dimension = d;
+    } else if (d != dimension) {
+      SetError(error, line_number, "inconsistent dimension");
+      return false;
+    }
+    std::vector<double> coords(d);
+    for (size_t i = 0; i < d; ++i) {
+      if (!ParseDouble(fields[i], &coords[i]) || !std::isfinite(coords[i])) {
+        SetError(error, line_number,
+                 "bad coordinate '" + fields[i] + "'");
+        return false;
+      }
+    }
+    if (!row_fn(std::move(coords),
+                std::vector<std::string>(fields.end() - static_cast<long>(trailing),
+                                         fields.end()),
+                line_number)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void WriteLabeledCsv(const LabeledPointSet& set, std::ostream& out) {
+  out << "# monoclass labeled point set: x1,...,xd,label\n";
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t dim = 0; dim < set.dimension(); ++dim) {
+      WriteDouble(out, set.point(i)[dim]);
+      out << ",";
+    }
+    out << static_cast<int>(set.label(i)) << "\n";
+  }
+}
+
+std::optional<LabeledPointSet> ReadLabeledCsv(std::istream& in,
+                                              std::string* error) {
+  LabeledPointSet set;
+  const bool ok = ReadCsvRows(
+      in, 1, error,
+      [&set, error](std::vector<double> coords,
+                    std::vector<std::string> rest, size_t line_number) {
+        if (rest[0] != "0" && rest[0] != "1") {
+          SetError(error, line_number, "label must be 0 or 1");
+          return false;
+        }
+        set.Add(Point(std::move(coords)), rest[0] == "1" ? 1 : 0);
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  return set;
+}
+
+void WriteWeightedCsv(const WeightedPointSet& set, std::ostream& out) {
+  out << "# monoclass weighted point set: x1,...,xd,label,weight\n";
+  for (size_t i = 0; i < set.size(); ++i) {
+    for (size_t dim = 0; dim < set.dimension(); ++dim) {
+      WriteDouble(out, set.point(i)[dim]);
+      out << ",";
+    }
+    out << static_cast<int>(set.label(i)) << ",";
+    WriteDouble(out, set.weight(i));
+    out << "\n";
+  }
+}
+
+std::optional<WeightedPointSet> ReadWeightedCsv(std::istream& in,
+                                                std::string* error) {
+  WeightedPointSet set;
+  const bool ok = ReadCsvRows(
+      in, 2, error,
+      [&set, error](std::vector<double> coords,
+                    std::vector<std::string> rest, size_t line_number) {
+        if (rest[0] != "0" && rest[0] != "1") {
+          SetError(error, line_number, "label must be 0 or 1");
+          return false;
+        }
+        double weight = 0.0;
+        if (!ParseDouble(rest[1], &weight) || !(weight > 0.0) ||
+            !std::isfinite(weight)) {
+          SetError(error, line_number,
+                   "weight must be a positive finite number");
+          return false;
+        }
+        set.Add(Point(std::move(coords)), rest[0] == "1" ? 1 : 0, weight);
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  return set;
+}
+
+void WriteClassifier(const MonotoneClassifier& classifier,
+                     std::ostream& out) {
+  out << "monoclass-classifier v1\n";
+  out << "dimension " << classifier.dimension() << "\n";
+  for (const Point& g : classifier.generators()) {
+    out << "generator";
+    for (size_t dim = 0; dim < g.dimension(); ++dim) {
+      out << " ";
+      WriteDouble(out, g[dim]);
+    }
+    out << "\n";
+  }
+}
+
+std::optional<MonotoneClassifier> ReadClassifier(std::istream& in,
+                                                 std::string* error) {
+  std::string line;
+  size_t line_number = 0;
+  if (!NextDataLine(in, &line, &line_number) ||
+      line != "monoclass-classifier v1") {
+    SetError(error, line_number, "missing classifier header");
+    return std::nullopt;
+  }
+  if (!NextDataLine(in, &line, &line_number)) {
+    SetError(error, line_number, "missing dimension line");
+    return std::nullopt;
+  }
+  std::istringstream dim_line(line);
+  std::string keyword;
+  size_t dimension = 0;
+  dim_line >> keyword >> dimension;
+  if (keyword != "dimension" || dimension == 0) {
+    SetError(error, line_number, "bad dimension line");
+    return std::nullopt;
+  }
+  std::vector<Point> generators;
+  while (NextDataLine(in, &line, &line_number)) {
+    std::istringstream gen_line(line);
+    gen_line >> keyword;
+    if (keyword != "generator") {
+      SetError(error, line_number, "expected generator line");
+      return std::nullopt;
+    }
+    std::vector<double> coords;
+    std::string token;
+    while (gen_line >> token) {
+      double value = 0.0;
+      if (!ParseDouble(token, &value)) {
+        SetError(error, line_number, "bad generator value '" + token + "'");
+        return std::nullopt;
+      }
+      coords.push_back(value);
+    }
+    if (coords.size() != dimension) {
+      SetError(error, line_number, "generator has wrong dimension");
+      return std::nullopt;
+    }
+    generators.push_back(Point(std::move(coords)));
+  }
+  return MonotoneClassifier::FromGenerators(std::move(generators),
+                                            dimension);
+}
+
+bool WriteLabeledCsvFile(const LabeledPointSet& set,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteLabeledCsv(set, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<LabeledPointSet> ReadLabeledCsvFile(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadLabeledCsv(in, error);
+}
+
+bool WriteClassifierFile(const MonotoneClassifier& classifier,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteClassifier(classifier, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<MonotoneClassifier> ReadClassifierFile(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return ReadClassifier(in, error);
+}
+
+}  // namespace monoclass

@@ -1,0 +1,63 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Dataset and classifier (de)serialization.
+//
+// Datasets use a plain CSV dialect (no quoting; '#' comments and blank
+// lines ignored):
+//   labeled:   x1,x2,...,xd,label          label in {0, 1}
+//   weighted:  x1,x2,...,xd,label,weight   weight > 0
+//
+// Classifiers use a small text format that round-trips the minimal
+// generator representation exactly (hex floats, so no precision loss):
+//   monoclass-classifier v1
+//   dimension <d>
+//   generator <g1> <g2> ... <gd>      (one line per generator; the token
+//                                      -inf encodes -infinity)
+//
+// Loaders return std::nullopt on malformed input and, when `error` is
+// non-null, describe the first problem (line number included).
+
+#ifndef MONOCLASS_IO_SERIALIZATION_H_
+#define MONOCLASS_IO_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// --- CSV datasets ---
+
+void WriteLabeledCsv(const LabeledPointSet& set, std::ostream& out);
+std::optional<LabeledPointSet> ReadLabeledCsv(std::istream& in,
+                                              std::string* error = nullptr);
+
+void WriteWeightedCsv(const WeightedPointSet& set, std::ostream& out);
+std::optional<WeightedPointSet> ReadWeightedCsv(
+    std::istream& in, std::string* error = nullptr);
+
+// --- classifiers ---
+
+void WriteClassifier(const MonotoneClassifier& classifier,
+                     std::ostream& out);
+std::optional<MonotoneClassifier> ReadClassifier(
+    std::istream& in, std::string* error = nullptr);
+
+// --- file convenience wrappers (return false / nullopt on I/O failure) ---
+
+bool WriteLabeledCsvFile(const LabeledPointSet& set,
+                         const std::string& path);
+std::optional<LabeledPointSet> ReadLabeledCsvFile(
+    const std::string& path, std::string* error = nullptr);
+bool WriteClassifierFile(const MonotoneClassifier& classifier,
+                         const std::string& path);
+std::optional<MonotoneClassifier> ReadClassifierFile(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_IO_SERIALIZATION_H_

@@ -1,0 +1,54 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Umbrella header: the whole public API in one include.
+//
+//   #include "monoclass.h"
+//
+// Fine-grained headers remain available for compile-time-sensitive users;
+// see README.md for the module map.
+
+#ifndef MONOCLASS_MONOCLASS_H_
+#define MONOCLASS_MONOCLASS_H_
+
+// Core types: points, dominance, datasets, classifiers, metrics.
+#include "core/antichain.h"
+#include "core/chain_decomposition.h"
+#include "core/chain_decomposition_2d.h"
+#include "core/classifier.h"
+#include "core/dataset.h"
+#include "core/dominance.h"
+#include "core/metrics.h"
+#include "core/paper_example.h"
+#include "core/point.h"
+
+// Passive (fully labeled) solvers -- paper Problem 2.
+#include "passive/brute_force.h"
+#include "passive/contending.h"
+#include "passive/flow_solver.h"
+#include "passive/isotonic_1d.h"
+#include "passive/staircase_2d.h"
+#include "passive/threshold_index.h"
+
+// Active (probe-budgeted) solvers -- paper Problem 1.
+#include "active/baselines.h"
+#include "active/estimator.h"
+#include "active/lower_bound.h"
+#include "active/multi_d.h"
+#include "active/one_d.h"
+#include "active/oracle.h"
+#include "active/params.h"
+
+// Workload generation and I/O.
+#include "data/entity_matching.h"
+#include "data/similarity.h"
+#include "data/synthetic.h"
+#include "io/serialization.h"
+
+// Graph substrate (exposed for users who need max flow / matching
+// directly).
+#include "graph/matching.h"
+#include "graph/max_flow.h"
+#include "graph/path_cover.h"
+
+#endif  // MONOCLASS_MONOCLASS_H_

@@ -1,0 +1,70 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "passive/brute_force.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace monoclass {
+
+BruteForceResult SolvePassiveBruteForce(const WeightedPointSet& set) {
+  const size_t n = set.size();
+  MC_CHECK_GE(n, 1u);
+  MC_CHECK_LE(n, kBruteForceMaxPoints)
+      << "brute force enumerates 2^n assignments";
+
+  // upward_mask[i] = bitmask of points that weakly dominate point i; a
+  // mask m is a monotone assignment iff every selected point's dominators
+  // are also selected. No index tie-break here: coordinate-equal points
+  // appear in each other's masks, forcing them to one common value (a
+  // classifier is a function of coordinates).
+  std::vector<uint64_t> upward_mask(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && DominatesEq(set.point(j), set.point(i))) {
+        upward_mask[i] |= (uint64_t{1} << j);
+      }
+    }
+  }
+
+  double best_error = set.TotalWeight() + 1.0;
+  uint64_t best_mask = 0;
+  size_t monotone_count = 0;
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    bool monotone = true;
+    for (size_t i = 0; i < n && monotone; ++i) {
+      if ((mask >> i) & 1) {
+        monotone = (upward_mask[i] & ~mask) == 0;
+      }
+    }
+    if (!monotone) continue;
+    ++monotone_count;
+    double error = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const Label predicted = static_cast<Label>((mask >> i) & 1);
+      if (predicted != set.label(i)) error += set.weight(i);
+    }
+    if (error < best_error) {
+      best_error = error;
+      best_mask = mask;
+    }
+  }
+
+  std::vector<Label> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<Label>((best_mask >> i) & 1);
+  }
+  auto classifier = MonotoneClassifier::FromAssignment(set.points(), values);
+  MC_CHECK(classifier.has_value());
+  return BruteForceResult{*std::move(classifier), best_error, monotone_count};
+}
+
+size_t OptimalErrorBruteForce(const LabeledPointSet& set) {
+  const BruteForceResult result =
+      SolvePassiveBruteForce(WeightedPointSet::UnitWeights(set));
+  return static_cast<size_t>(result.optimal_weighted_error + 0.5);
+}
+
+}  // namespace monoclass

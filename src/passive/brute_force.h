@@ -1,0 +1,38 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Exponential-time exact solver for passive weighted monotone
+// classification (paper Section 1.2's naive solution). Enumerates every
+// monotone 0/1 assignment over the input points. Usable only for small
+// inputs (n <= kBruteForceMaxPoints); exists as the independent ground
+// truth that the polynomial flow solver is tested against.
+
+#ifndef MONOCLASS_PASSIVE_BRUTE_FORCE_H_
+#define MONOCLASS_PASSIVE_BRUTE_FORCE_H_
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// Largest input size the brute-force solver accepts (2^n enumeration).
+inline constexpr size_t kBruteForceMaxPoints = 22;
+
+struct BruteForceResult {
+  MonotoneClassifier classifier;
+  double optimal_weighted_error = 0.0;
+  // Number of monotone assignments among the 2^n enumerated (diagnostic;
+  // equals the number of antichains / up-sets of the dominance order).
+  size_t num_monotone_assignments = 0;
+};
+
+// Finds an exactly optimal monotone classifier by enumeration.
+// Requires 1 <= n <= kBruteForceMaxPoints.
+BruteForceResult SolvePassiveBruteForce(const WeightedPointSet& set);
+
+// Convenience for unweighted inputs: the optimal error k* of eq. (2).
+size_t OptimalErrorBruteForce(const LabeledPointSet& set);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_PASSIVE_BRUTE_FORCE_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "passive/contending.h"
+
+namespace monoclass {
+
+ContendingPartition ComputeContending(const PointSet& points,
+                                      const std::vector<Label>& labels) {
+  MC_CHECK_EQ(points.size(), labels.size());
+  const size_t n = points.size();
+  ContendingPartition partition;
+  partition.is_contending.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    bool contending = false;
+    for (size_t j = 0; j < n && !contending; ++j) {
+      if (i == j || labels[j] == labels[i]) continue;
+      if (labels[i] == 0) {
+        // label-0 point dominating a label-1 point.
+        contending = DominatesEq(points[i], points[j]);
+      } else {
+        // label-1 point dominated by a label-0 point.
+        contending = DominatesEq(points[j], points[i]);
+      }
+    }
+    if (contending) {
+      partition.is_contending[i] = true;
+      partition.contending.push_back(i);
+    }
+  }
+  return partition;
+}
+
+}  // namespace monoclass

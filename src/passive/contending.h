@@ -1,0 +1,36 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The contending-point reduction of paper Section 5 (Lemma 15).
+//
+// A point p is *contending* when its label conflicts with a dominance
+// neighbor: label(p) = 0 but p dominates some label-1 point, or
+// label(p) = 1 but some label-0 point dominates p. Lemma 15 shows the
+// passive problem restricted to the contending subset P^con has the same
+// optimum as on P, and a classifier optimal on P^con extends to P by
+// giving every non-contending point its own label.
+
+#ifndef MONOCLASS_PASSIVE_CONTENDING_H_
+#define MONOCLASS_PASSIVE_CONTENDING_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace monoclass {
+
+struct ContendingPartition {
+  // Indices of contending points, in increasing order.
+  std::vector<size_t> contending;
+  // is_contending[i] for every point of the input set.
+  std::vector<bool> is_contending;
+};
+
+// Computes P^con in O(d n^2) time. Coordinate-equal pairs with opposite
+// labels are mutually contending (each weakly dominates the other).
+ContendingPartition ComputeContending(const PointSet& points,
+                                      const std::vector<Label>& labels);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_PASSIVE_CONTENDING_H_

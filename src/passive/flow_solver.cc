@@ -1,0 +1,115 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "passive/flow_solver.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "passive/contending.h"
+
+namespace monoclass {
+namespace {
+
+// Relative tolerance for the flow-value vs. classifier-error cross-check.
+constexpr double kErrorCheckTolerance = 1e-6;
+
+}  // namespace
+
+PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
+                                        const PassiveSolveOptions& options) {
+  MC_CHECK(!set.empty());
+  const size_t n = set.size();
+
+  // Step 1: the point indices that participate in the network.
+  std::vector<size_t> active;
+  if (options.reduce_to_contending) {
+    active = ComputeContending(set.points(), set.labels()).contending;
+  } else {
+    active.resize(n);
+    std::iota(active.begin(), active.end(), size_t{0});
+  }
+
+  PassiveSolveResult result{.classifier =
+                                MonotoneClassifier::AlwaysZero(set.dimension())};
+  result.num_contending =
+      options.reduce_to_contending
+          ? active.size()
+          : ComputeContending(set.points(), set.labels()).contending.size();
+
+  // Step 2: build the network. Vertex 0 = source, 1 = sink, 2 + k = the
+  // k-th active point. Type-3 edges get an effective infinity: one unit
+  // above the total weight, so no minimum cut can afford one (Lemma 18).
+  const int source = 0;
+  const int sink = 1;
+  const double infinite_capacity = set.TotalWeight() + 1.0;
+  FlowNetwork network(static_cast<int>(active.size()) + 2);
+  for (size_t k = 0; k < active.size(); ++k) {
+    const size_t i = active[k];
+    const int vertex = static_cast<int>(k) + 2;
+    if (set.label(i) == 0) {
+      network.AddEdge(source, vertex, set.weight(i));
+    } else {
+      network.AddEdge(vertex, sink, set.weight(i));
+    }
+    ++result.network_finite_edges;
+  }
+  for (size_t a = 0; a < active.size(); ++a) {
+    const size_t p = active[a];
+    if (set.label(p) != 0) continue;
+    for (size_t b = 0; b < active.size(); ++b) {
+      const size_t q = active[b];
+      if (set.label(q) != 1 || p == q) continue;
+      if (DominatesEq(set.point(p), set.point(q))) {
+        network.AddEdge(static_cast<int>(a) + 2, static_cast<int>(b) + 2,
+                        infinite_capacity);
+        ++result.network_infinite_edges;
+      }
+    }
+  }
+  result.network_vertices = static_cast<size_t>(network.NumVertices());
+
+  // Step 3: max flow and the residual-reachability cut.
+  result.flow_value =
+      CreateMaxFlowSolver(options.algorithm)->Solve(network, source, sink);
+  const std::vector<bool> reachable = ResidualReachable(network, source);
+
+  // Step 4: h*_cut(p) = 1 iff p's vertex is NOT residual-reachable. For a
+  // label-0 point that means its source edge is in the cut (mis-classified
+  // as 1); for a label-1 point reachability means its sink edge is in the
+  // cut (mis-classified as 0). Non-active points keep their own labels
+  // (the h' construction in the proof of Lemma 15).
+  result.assignment.resize(n);
+  for (size_t i = 0; i < n; ++i) result.assignment[i] = set.label(i);
+  for (size_t k = 0; k < active.size(); ++k) {
+    const bool positive = !reachable[static_cast<size_t>(k) + 2];
+    result.assignment[active[k]] = positive ? 1 : 0;
+  }
+
+  auto classifier =
+      MonotoneClassifier::FromAssignment(set.points(), result.assignment);
+  MC_CHECK(classifier.has_value())
+      << "Lemma 16 violated: cut classifier is not monotone";
+  result.classifier = *std::move(classifier);
+
+  // Cross-check Lemma 17 + Lemma 15: the classifier's weighted error on the
+  // full set equals the max-flow (= min-cut) value.
+  result.optimal_weighted_error = WeightedError(result.classifier, set);
+  MC_CHECK_LE(std::abs(result.optimal_weighted_error - result.flow_value),
+              kErrorCheckTolerance * std::max(1.0, result.flow_value))
+      << "flow value disagrees with classifier error";
+  return result;
+}
+
+PassiveSolveResult SolvePassiveUnweighted(const LabeledPointSet& set,
+                                          const PassiveSolveOptions& options) {
+  return SolvePassiveWeighted(WeightedPointSet::UnitWeights(set), options);
+}
+
+size_t OptimalError(const LabeledPointSet& set) {
+  if (set.empty()) return 0;
+  const PassiveSolveResult result = SolvePassiveUnweighted(set);
+  return static_cast<size_t>(result.optimal_weighted_error + 0.5);
+}
+
+}  // namespace monoclass

@@ -1,0 +1,68 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Theorem 4: exact passive weighted monotone classification in
+// O(d n^2) + T_maxflow(n) time.
+//
+// Pipeline (paper Section 5.1):
+//   1. restrict to the contending points P^con (Lemma 15);
+//   2. build the flow network -- source -> each label-0 point with
+//      capacity weight(p); each label-1 point -> sink with capacity
+//      weight(q); an "infinite" edge p -> q for every contending pair
+//      with label-0 p dominating label-1 q;
+//   3. compute a maximum flow; by max-flow min-cut (Lemmas 7-8) the
+//      residual-unreachable side reads off a minimum cut-edge set, which
+//      never contains an infinite edge (Lemma 18);
+//   4. the classifier h*_cut assigns 1 to exactly the points NOT
+//      residual-reachable from the source; it is monotone (Lemma 16) and
+//      optimal (Lemma 17); non-contending points keep their own labels.
+
+#ifndef MONOCLASS_PASSIVE_FLOW_SOLVER_H_
+#define MONOCLASS_PASSIVE_FLOW_SOLVER_H_
+
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+#include "graph/max_flow.h"
+
+namespace monoclass {
+
+struct PassiveSolveOptions {
+  // Which max-flow algorithm powers step 3.
+  MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic;
+  // When false, skips the Lemma 15 reduction and builds the network over
+  // all points (ablation knob for bench_passive_scaling; the answer is
+  // identical, the network is just larger).
+  bool reduce_to_contending = true;
+};
+
+struct PassiveSolveResult {
+  MonotoneClassifier classifier;
+  // The optimal weighted error w-err_P(h*) -- equals the max-flow value.
+  double optimal_weighted_error = 0.0;
+  // The explicit optimal 0/1 assignment over the input points.
+  std::vector<Label> assignment;
+
+  // Diagnostics for the experiment harnesses.
+  size_t num_contending = 0;
+  size_t network_vertices = 0;
+  size_t network_finite_edges = 0;
+  size_t network_infinite_edges = 0;
+  double flow_value = 0.0;
+};
+
+// Solves Problem 2 exactly. Requires a non-empty input.
+PassiveSolveResult SolvePassiveWeighted(
+    const WeightedPointSet& set, const PassiveSolveOptions& options = {});
+
+// Convenience for unweighted inputs: returns an optimal classifier and k*.
+PassiveSolveResult SolvePassiveUnweighted(
+    const LabeledPointSet& set, const PassiveSolveOptions& options = {});
+
+// The optimal error k* of eq. (2), computed via the flow solver.
+size_t OptimalError(const LabeledPointSet& set);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_PASSIVE_FLOW_SOLVER_H_

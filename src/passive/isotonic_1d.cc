@@ -1,0 +1,67 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "passive/isotonic_1d.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace monoclass {
+
+Threshold1DResult Solve1DWeighted(const std::vector<Weighted1DPoint>& points) {
+  MC_CHECK(!points.empty());
+  std::vector<Weighted1DPoint> sorted = points;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Weighted1DPoint& a, const Weighted1DPoint& b) {
+              return a.value < b.value;
+            });
+
+  // err(tau) = weight of label-1 points <= tau  +  weight of label-0
+  // points > tau. Sweep tau through -infinity and then each distinct
+  // value; maintain the two sums incrementally.
+  double weight_ones_below = 0.0;  // label-1 with value <= tau
+  double weight_zeros_above = 0.0;  // label-0 with value > tau
+  for (const auto& p : sorted) {
+    if (p.label == 0) weight_zeros_above += p.weight;
+  }
+
+  Threshold1DResult best;
+  best.tau = -std::numeric_limits<double>::infinity();
+  best.optimal_weighted_error = weight_ones_below + weight_zeros_above;
+
+  size_t i = 0;
+  while (i < sorted.size()) {
+    // Advance tau to sorted[i].value; all ties move together.
+    const double tau = sorted[i].value;
+    while (i < sorted.size() && sorted[i].value == tau) {
+      if (sorted[i].label == 1) {
+        weight_ones_below += sorted[i].weight;
+      } else {
+        weight_zeros_above -= sorted[i].weight;
+      }
+      ++i;
+    }
+    const double error = weight_ones_below + weight_zeros_above;
+    if (error < best.optimal_weighted_error) {
+      best.optimal_weighted_error = error;
+      best.tau = tau;
+    }
+  }
+  return best;
+}
+
+MonotoneClassifier Solve1DWeightedClassifier(
+    const std::vector<Weighted1DPoint>& points) {
+  return MonotoneClassifier::Threshold1D(Solve1DWeighted(points).tau);
+}
+
+std::vector<Weighted1DPoint> ToWeighted1D(const WeightedPointSet& set) {
+  MC_CHECK_EQ(set.dimension(), 1u);
+  std::vector<Weighted1DPoint> points(set.size());
+  for (size_t i = 0; i < set.size(); ++i) {
+    points[i] = Weighted1DPoint{set.point(i)[0], set.label(i), set.weight(i)};
+  }
+  return points;
+}
+
+}  // namespace monoclass

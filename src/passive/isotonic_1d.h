@@ -1,0 +1,50 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Exact passive weighted monotone classification in 1D.
+//
+// In one dimension every monotone classifier is a threshold h^tau
+// (h(p) = 1 iff p > tau; paper eq. (6)), and only tau in P or
+// tau = -infinity matter (eq. (7)). After sorting, a prefix-sum sweep
+// finds the optimal threshold in O(n log n) total time. This serves both
+// as an independent oracle for the flow solver in tests and as the final
+// selection step of the 1D active algorithm.
+
+#ifndef MONOCLASS_PASSIVE_ISOTONIC_1D_H_
+#define MONOCLASS_PASSIVE_ISOTONIC_1D_H_
+
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+
+namespace monoclass {
+
+// One labeled, weighted 1D observation.
+struct Weighted1DPoint {
+  double value = 0.0;
+  Label label = 0;
+  double weight = 1.0;
+};
+
+struct Threshold1DResult {
+  // Optimal threshold: h(p) = 1 iff p > tau; -infinity means "all 1".
+  double tau = 0.0;
+  double optimal_weighted_error = 0.0;
+};
+
+// Finds a weighted-error-minimizing threshold over {-infinity} union
+// {values present}. Coordinate ties are handled correctly (equal values
+// always fall on the same side of the threshold). Requires non-empty input.
+Threshold1DResult Solve1DWeighted(const std::vector<Weighted1DPoint>& points);
+
+// Same, wrapped as a MonotoneClassifier (dimension 1).
+MonotoneClassifier Solve1DWeightedClassifier(
+    const std::vector<Weighted1DPoint>& points);
+
+// Adapter from a 1-dimensional WeightedPointSet.
+std::vector<Weighted1DPoint> ToWeighted1D(const WeightedPointSet& set);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_PASSIVE_ISOTONIC_1D_H_

@@ -1,0 +1,141 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "passive/staircase_2d.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace monoclass {
+
+Staircase2DResult SolvePassiveStaircase2D(const WeightedPointSet& set) {
+  MC_CHECK(!set.empty());
+  MC_CHECK_EQ(set.dimension(), 2u);
+  const size_t n = set.size();
+
+  // Coordinate-compress both axes.
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = set.point(i)[0];
+    ys[i] = set.point(i)[1];
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  const size_t num_x = xs.size();
+  const size_t num_y = ys.size();
+  auto x_index = [&xs](double v) {
+    return static_cast<size_t>(
+        std::lower_bound(xs.begin(), xs.end(), v) - xs.begin());
+  };
+  auto y_index = [&ys](double v) {
+    return static_cast<size_t>(
+        std::lower_bound(ys.begin(), ys.end(), v) - ys.begin());
+  };
+
+  // Bucket points by column.
+  struct ColumnPoint {
+    size_t y = 0;  // compressed y index
+    Label label = 0;
+    double weight = 0.0;
+  };
+  std::vector<std::vector<ColumnPoint>> columns(num_x);
+  for (size_t i = 0; i < n; ++i) {
+    columns[x_index(set.point(i)[0])].push_back(
+        ColumnPoint{y_index(set.point(i)[1]), set.label(i), set.weight(i)});
+  }
+
+  // Column cost for acceptance level t in [0, num_y]: points with y >= t
+  // are classified 1, the rest 0 (t = num_y accepts nothing).
+  // cost(t) = sum w over (label 1, y < t) + (label 0, y >= t).
+  auto column_cost = [&](size_t column) {
+    std::vector<double> cost(num_y + 1, 0.0);
+    // Start at t = 0 (accept all): mis-classifies every label-0 point.
+    double base = 0.0;
+    std::vector<double> delta(num_y + 1, 0.0);
+    for (const ColumnPoint& p : columns[column]) {
+      if (p.label == 0) {
+        base += p.weight;
+        // Once t exceeds p.y, the point flips to (correct) 0.
+        delta[p.y + 1] -= p.weight;
+      } else {
+        // Once t exceeds p.y, the label-1 point becomes mis-classified.
+        delta[p.y + 1] += p.weight;
+      }
+    }
+    double running = base;
+    for (size_t t = 0; t <= num_y; ++t) {
+      running += delta[t];
+      cost[t] = running;
+    }
+    // delta[0] is never populated (p.y + 1 >= 1), so cost[0] == base.
+    return cost;
+  };
+
+  // DP over columns with non-increasing levels; parent pointers for the
+  // staircase reconstruction.
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  std::vector<double> best(num_y + 1, 0.0);       // suffix-min of previous
+  std::vector<std::vector<size_t>> parent(num_x,
+                                          std::vector<size_t>(num_y + 1));
+  std::vector<double> current(num_y + 1);
+  for (size_t c = 0; c < num_x; ++c) {
+    const std::vector<double> cost = column_cost(c);
+    // prev_best[t] = min over t' >= t of previous column's total, with
+    // the arg for reconstruction.
+    std::vector<size_t> arg(num_y + 1);
+    std::vector<double> prev_best(num_y + 1);
+    double running = kInfinity;
+    size_t running_arg = num_y;
+    for (size_t t = num_y + 1; t-- > 0;) {
+      if (best[t] < running) {
+        running = best[t];
+        running_arg = t;
+      }
+      prev_best[t] = running;
+      arg[t] = running_arg;
+    }
+    for (size_t t = 0; t <= num_y; ++t) {
+      current[t] = cost[t] + (c == 0 ? 0.0 : prev_best[t]);
+      parent[c][t] = arg[t];
+    }
+    best = current;
+  }
+
+  // Optimal end state and staircase reconstruction.
+  size_t level = 0;
+  for (size_t t = 1; t <= num_y; ++t) {
+    if (best[t] < best[level]) level = t;
+  }
+  const double optimal = best[level];
+  std::vector<size_t> levels(num_x);
+  for (size_t c = num_x; c-- > 0;) {
+    levels[c] = level;
+    level = parent[c][level];
+  }
+
+  // Generators: one per column that accepts anything; minimality pruning
+  // keeps only the staircase's inner corners.
+  std::vector<Point> generators;
+  for (size_t c = 0; c < num_x; ++c) {
+    if (levels[c] < num_y) {
+      generators.push_back(Point{xs[c], ys[levels[c]]});
+    }
+  }
+  Staircase2DResult result{
+      .classifier = MonotoneClassifier::FromGenerators(
+          std::move(generators), 2)};
+  result.optimal_weighted_error = optimal;
+
+  // Self-check: the classifier must realize the DP's optimum.
+  const double realized = WeightedError(result.classifier, set);
+  MC_CHECK_LE(std::abs(realized - optimal),
+              1e-6 * std::max(1.0, optimal))
+      << "staircase reconstruction disagrees with DP optimum";
+  return result;
+}
+
+}  // namespace monoclass

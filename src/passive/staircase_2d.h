@@ -1,0 +1,38 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Exact passive weighted monotone classification in 2D by dynamic
+// programming -- a third independent algorithm for Problem 2 (after the
+// Theorem 4 flow solver and the exponential brute force), valid for
+// d = 2 only.
+//
+// In the plane an upward-closed region restricted to the input's grid is
+// a *staircase*: accepting (x0, y0) forces acceptance of every
+// (x >= x0, y >= y0), so sweeping distinct x-columns left to right the
+// per-column acceptance level in y is non-increasing. The DP processes
+// columns in increasing x with state = the column's acceptance level (an
+// index into the distinct y values, or "accept nothing"); the
+// non-increasing constraint becomes a suffix-minimum over the previous
+// column's states, so the whole solve costs O(X * Y + n log n) for X
+// distinct x's and Y distinct y's (<= O(n^2), typically far less).
+
+#ifndef MONOCLASS_PASSIVE_STAIRCASE_2D_H_
+#define MONOCLASS_PASSIVE_STAIRCASE_2D_H_
+
+#include "core/classifier.h"
+#include "core/dataset.h"
+
+namespace monoclass {
+
+struct Staircase2DResult {
+  MonotoneClassifier classifier;
+  double optimal_weighted_error = 0.0;
+};
+
+// Solves Problem 2 exactly for a 2-dimensional weighted set.
+// Requires a non-empty input with dimension() == 2.
+Staircase2DResult SolvePassiveStaircase2D(const WeightedPointSet& set);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_PASSIVE_STAIRCASE_2D_H_

@@ -1,0 +1,123 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "passive/threshold_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace monoclass {
+
+ThresholdErrorIndex::ThresholdErrorIndex(
+    std::vector<double> candidate_values)
+    : values_(std::move(candidate_values)) {
+  MC_CHECK(!values_.empty());
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+  size_ = values_.size() + 1;  // +1 for tau = -infinity at position 0
+  min_.assign(4 * size_, 0.0);
+  lazy_.assign(4 * size_, 0.0);
+  argmin_.assign(4 * size_, 0);
+  // Initialize arg-min bookkeeping: every node starts at the leftmost
+  // leaf of its range, value 0.
+  struct Frame {
+    size_t node, lo, hi;
+  };
+  std::vector<Frame> stack{{1, 0, size_ - 1}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    argmin_[frame.node] = frame.lo;
+    if (frame.lo != frame.hi) {
+      const size_t mid = (frame.lo + frame.hi) / 2;
+      stack.push_back({2 * frame.node, frame.lo, mid});
+      stack.push_back({2 * frame.node + 1, mid + 1, frame.hi});
+    }
+  }
+}
+
+void ThresholdErrorIndex::RangeAdd(size_t node, size_t node_lo,
+                                   size_t node_hi, size_t lo, size_t hi,
+                                   double delta) {
+  if (hi < node_lo || node_hi < lo) return;
+  if (lo <= node_lo && node_hi <= hi) {
+    min_[node] += delta;
+    lazy_[node] += delta;
+    return;
+  }
+  const size_t mid = (node_lo + node_hi) / 2;
+  RangeAdd(2 * node, node_lo, mid, lo, hi, delta);
+  RangeAdd(2 * node + 1, mid + 1, node_hi, lo, hi, delta);
+  const size_t left = 2 * node;
+  const size_t right = 2 * node + 1;
+  // Children minima are relative to their own lazies but not this node's;
+  // this node's lazy applies on top.
+  if (min_[left] <= min_[right]) {
+    min_[node] = min_[left] + lazy_[node];
+    argmin_[node] = argmin_[left];
+  } else {
+    min_[node] = min_[right] + lazy_[node];
+    argmin_[node] = argmin_[right];
+  }
+}
+
+size_t ThresholdErrorIndex::ValueIndex(double value) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  MC_CHECK(it != values_.end() && *it == value)
+      << "Activate value must be one of the candidates";
+  return static_cast<size_t>(it - values_.begin());
+}
+
+void ThresholdErrorIndex::Activate(double value, Label label,
+                                   double weight) {
+  MC_CHECK(label == 0 || label == 1);
+  MC_CHECK_GT(weight, 0.0);
+  const size_t k = ValueIndex(value);  // leaf position of `value` is k+1
+  ++num_active_;
+  if (label == 1) {
+    // Mis-classified (as 0) by every tau >= value: leaves k+1 .. m.
+    RangeAdd(1, 0, size_ - 1, k + 1, size_ - 1, weight);
+  } else {
+    // Mis-classified (as 1) by every tau < value: leaves 0 .. k.
+    RangeAdd(1, 0, size_ - 1, 0, k, weight);
+  }
+}
+
+ThresholdErrorIndex::Best ThresholdErrorIndex::BestThreshold() const {
+  Best best;
+  best.error = min_[1];
+  const size_t position = argmin_[1];
+  best.tau = position == 0 ? -std::numeric_limits<double>::infinity()
+                           : values_[position - 1];
+  return best;
+}
+
+double ThresholdErrorIndex::ErrorAt(double tau) const {
+  // Walk from the root to the leaf for tau, accumulating lazies.
+  size_t position = 0;
+  if (std::isinf(tau) && tau < 0) {
+    position = 0;
+  } else {
+    position = ValueIndex(tau) + 1;
+  }
+  double total = 0.0;
+  size_t node = 1;
+  size_t lo = 0;
+  size_t hi = size_ - 1;
+  while (true) {
+    total += lazy_[node];
+    if (lo == hi) break;
+    const size_t mid = (lo + hi) / 2;
+    if (position <= mid) {
+      node = 2 * node;
+      hi = mid;
+    } else {
+      node = 2 * node + 1;
+      lo = mid + 1;
+    }
+  }
+  return total;
+}
+
+}  // namespace monoclass

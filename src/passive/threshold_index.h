@@ -1,0 +1,78 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Incremental 1D threshold-error index -- the "augmented binary search
+// tree" the paper invokes in Section 3.4 to implement the 1D algorithm in
+// O~(1/eps^2) time, made concrete.
+//
+// Fix a set of candidate coordinate values up front (in the active
+// algorithm these are the points of the current chain). The index then
+// supports, in O(log n) each:
+//
+//   * Activate(value, label, weight) -- add a labeled weighted
+//     observation at one of the known coordinates;
+//   * BestThreshold() -- the tau minimizing the weighted threshold error
+//     err(tau) = sum of weights of (label-1 observations with value <= tau)
+//                + (label-0 observations with value > tau)
+//     over tau in {-infinity} union {candidate values}, with the current
+//     active multiset.
+//
+// Internally a lazy range-add / range-min segment tree over the candidate
+// thresholds: activating a label-1 observation at value v adds its weight
+// to err(tau) for all tau >= v; a label-0 observation adds to all
+// tau < v. Both are contiguous ranges in threshold order.
+
+#ifndef MONOCLASS_PASSIVE_THRESHOLD_INDEX_H_
+#define MONOCLASS_PASSIVE_THRESHOLD_INDEX_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace monoclass {
+
+class ThresholdErrorIndex {
+ public:
+  // The candidate coordinates; duplicates are collapsed. Thresholds
+  // considered are -infinity plus each distinct value.
+  explicit ThresholdErrorIndex(std::vector<double> candidate_values);
+
+  // Adds one observation. `value` must be one of the candidate values.
+  void Activate(double value, Label label, double weight);
+
+  // Number of distinct candidate thresholds (including -infinity).
+  size_t NumThresholds() const { return values_.size() + 1; }
+
+  // Total number of Activate calls so far.
+  size_t NumActive() const { return num_active_; }
+
+  struct Best {
+    double tau = 0.0;     // -infinity encoded as -HUGE_VAL
+    double error = 0.0;   // minimum achievable weighted error
+  };
+  // The current optimum. O(1) (the tree root), plus O(log n) to locate
+  // the arg-min threshold.
+  Best BestThreshold() const;
+
+  // err(tau) for a specific candidate tau (O(log n); used by tests).
+  double ErrorAt(double tau) const;
+
+ private:
+  // Segment tree over positions 0..m (position 0 = -infinity, position
+  // k >= 1 = values_[k-1]), with lazy range adds.
+  void RangeAdd(size_t node, size_t node_lo, size_t node_hi, size_t lo,
+                size_t hi, double delta);
+  // Index of the distinct value equal to `value` (checks membership).
+  size_t ValueIndex(double value) const;
+
+  std::vector<double> values_;  // sorted distinct candidates
+  size_t size_ = 0;             // number of tree leaves (= m + 1)
+  std::vector<double> min_;     // node minimum (with own lazy applied)
+  std::vector<size_t> argmin_;  // leaf position achieving the minimum
+  std::vector<double> lazy_;    // pending add for the subtree
+  size_t num_active_ = 0;
+};
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_PASSIVE_THRESHOLD_INDEX_H_

@@ -1,0 +1,113 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Runtime invariant checking.
+//
+// The library follows the convention of aborting on violated preconditions
+// and internal invariants instead of throwing exceptions: a violated MC_CHECK
+// is a programming error, never an expected runtime condition. Fallible
+// operations in the public API signal failure through their return type
+// (std::optional / bool) instead.
+//
+//   MC_CHECK(cond) << "context";    always evaluated
+//   MC_DCHECK(cond) << "context";   evaluated only in debug builds
+//
+// Comparison helpers print both operands on failure:
+//
+//   MC_CHECK_EQ(a, b);  MC_CHECK_NE(a, b);
+//   MC_CHECK_LT(a, b);  MC_CHECK_LE(a, b);
+//   MC_CHECK_GT(a, b);  MC_CHECK_GE(a, b);
+
+#ifndef MONOCLASS_UTIL_CHECK_H_
+#define MONOCLASS_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace monoclass {
+namespace internal_check {
+
+// Accumulates the failure message and aborts the process when destroyed.
+// The streaming interface lets call sites append context:
+//   MC_CHECK(x > 0) << "x came from " << source;
+class CheckFailureStream {
+ public:
+  CheckFailureStream(std::string_view kind, std::string_view file, int line,
+                     std::string_view condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Makes the false branch of the CHECK ternary a void expression while
+// letting `<<` bind to the stream first (operator& has lower precedence
+// than operator<<). Same trick as glog's LOG voidifier.
+struct Voidifier {
+  void operator&(const CheckFailureStream&) const {}
+};
+
+}  // namespace internal_check
+}  // namespace monoclass
+
+#define MC_CHECK_IMPL(kind, expression, condition_text)                 \
+  (expression) ? static_cast<void>(0)                                   \
+               : ::monoclass::internal_check::Voidifier() &             \
+                     ::monoclass::internal_check::CheckFailureStream(   \
+                         kind, __FILE__, __LINE__, condition_text)
+
+#define MC_CHECK(condition) MC_CHECK_IMPL("MC_CHECK", condition, #condition)
+
+#define MC_CHECK_OP(op, a, b)                                            \
+  ((a)op(b)) ? static_cast<void>(0)                                      \
+             : ::monoclass::internal_check::Voidifier() &                \
+                   ::monoclass::internal_check::CheckFailureStream(      \
+                       "MC_CHECK", __FILE__, __LINE__, #a " " #op " " #b) \
+                       << "(" << (a) << " vs " << (b) << ")"
+
+#define MC_CHECK_EQ(a, b) MC_CHECK_OP(==, a, b)
+#define MC_CHECK_NE(a, b) MC_CHECK_OP(!=, a, b)
+#define MC_CHECK_LT(a, b) MC_CHECK_OP(<, a, b)
+#define MC_CHECK_LE(a, b) MC_CHECK_OP(<=, a, b)
+#define MC_CHECK_GT(a, b) MC_CHECK_OP(>, a, b)
+#define MC_CHECK_GE(a, b) MC_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+// The `true ||` keeps the condition's variables odr-used (no unused
+// warnings) without evaluating side effects at a measurable cost.
+#define MC_DCHECK(condition) MC_CHECK_IMPL("MC_DCHECK", true || (condition), "")
+#define MC_DCHECK_EQ(a, b) MC_DCHECK((a) == (b))
+#define MC_DCHECK_NE(a, b) MC_DCHECK((a) != (b))
+#define MC_DCHECK_LT(a, b) MC_DCHECK((a) < (b))
+#define MC_DCHECK_LE(a, b) MC_DCHECK((a) <= (b))
+#define MC_DCHECK_GT(a, b) MC_DCHECK((a) > (b))
+#define MC_DCHECK_GE(a, b) MC_DCHECK((a) >= (b))
+#else
+#define MC_DCHECK(condition) MC_CHECK(condition)
+#define MC_DCHECK_EQ(a, b) MC_CHECK_EQ(a, b)
+#define MC_DCHECK_NE(a, b) MC_CHECK_NE(a, b)
+#define MC_DCHECK_LT(a, b) MC_CHECK_LT(a, b)
+#define MC_DCHECK_LE(a, b) MC_CHECK_LE(a, b)
+#define MC_DCHECK_GT(a, b) MC_CHECK_GT(a, b)
+#define MC_DCHECK_GE(a, b) MC_CHECK_GE(a, b)
+#endif
+
+#endif  // MONOCLASS_UTIL_CHECK_H_

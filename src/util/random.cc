@@ -1,0 +1,25 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "util/random.h"
+
+#include <numeric>
+
+namespace monoclass {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t population,
+                                                  size_t count) {
+  MC_CHECK_LE(count, population);
+  std::vector<size_t> indices(population);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  // Partial Fisher-Yates: after k swaps the first k slots are a uniform
+  // k-subset in uniform order.
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + static_cast<size_t>(UniformInt(population - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+}  // namespace monoclass

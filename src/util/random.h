@@ -1,0 +1,155 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library takes an explicit Rng (or a
+// 64-bit seed) so that experiments are reproducible bit-for-bit across runs
+// and platforms. We deliberately avoid std::mt19937 + std::distributions:
+// the standard distributions are not guaranteed to produce identical
+// sequences across standard-library implementations, which would break
+// cross-platform reproducibility of EXPERIMENTS.md.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// SplitMix64, which is the recommended seeding procedure.
+
+#ifndef MONOCLASS_UTIL_RANDOM_H_
+#define MONOCLASS_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace monoclass {
+
+// SplitMix64: used for seeding and as a cheap stateless mixer.
+// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+// generators", OOPSLA 2014.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ pseudo-random generator with convenience sampling helpers.
+// Not cryptographically secure; period 2^256 - 1.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  // Seeds the four 64-bit words of state via SplitMix64, per the xoshiro
+  // authors' recommendation.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  result_type operator()() { return Next(); }
+
+  // Next raw 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's nearly-divisionless
+  // unbiased method. Requires bound >= 1.
+  uint64_t UniformInt(uint64_t bound) {
+    MC_DCHECK_GE(bound, 1u);
+    // Multiply-shift with rejection to remove modulo bias.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformIntInRange(int64_t lo, int64_t hi) {
+    MC_DCHECK_LE(lo, hi);
+    const uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+    const uint64_t draw = (span == 0) ? Next() : UniformInt(span);
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + draw);
+  }
+
+  // Uniform double in [0, 1) with 53 random mantissa bits.
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDoubleInRange(double lo, double hi) {
+    MC_DCHECK_LE(lo, hi);
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
+
+  // Draws `count` indices uniformly from [0, population) WITH replacement.
+  std::vector<size_t> SampleWithReplacement(size_t population, size_t count) {
+    MC_CHECK_GE(population, 1u);
+    std::vector<size_t> sample(count);
+    for (auto& index : sample) {
+      index = static_cast<size_t>(UniformInt(population));
+    }
+    return sample;
+  }
+
+  // Draws `count` distinct indices uniformly from [0, population) WITHOUT
+  // replacement (Fisher-Yates over an index vector; O(population)).
+  std::vector<size_t> SampleWithoutReplacement(size_t population,
+                                               size_t count);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  // Derives an independent child generator; useful for giving each trial or
+  // each chain its own stream without correlation.
+  Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_UTIL_RANDOM_H_

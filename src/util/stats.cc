@@ -1,0 +1,78 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace monoclass {
+
+void RunningStat::Add(double x) {
+  if (samples_.empty()) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  samples_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  sorted_valid_ = false;
+}
+
+double RunningStat::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double RunningStat::Variance() const {
+  const size_t n = samples_.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean();
+  // Two-pass-equivalent formula; numerically fine for experiment scales.
+  const double raw =
+      (sum_sq_ - static_cast<double>(n) * mean * mean) /
+      static_cast<double>(n - 1);
+  return std::max(0.0, raw);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStat::Quantile(double q) const {
+  MC_CHECK_GE(q, 0.0);
+  MC_CHECK_LE(q, 1.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double RunningStat::FractionAbove(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  size_t above = 0;
+  for (double x : samples_) {
+    if (x > threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(samples_.size());
+}
+
+std::string RunningStat::ToString() const {
+  std::ostringstream out;
+  out << Mean() << " +- " << StdDev() << " [" << Min() << ", " << Max()
+      << "] n=" << Count();
+  return out.str();
+}
+
+}  // namespace monoclass

@@ -1,0 +1,70 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Streaming summary statistics used by the experiment harnesses to
+// aggregate repeated randomized trials (probe counts, error ratios,
+// running times).
+
+#ifndef MONOCLASS_UTIL_STATS_H_
+#define MONOCLASS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace monoclass {
+
+// Accumulates samples and reports mean / variance / extremes / quantiles.
+// Quantile queries sort an internal copy lazily, so Add() stays O(1).
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  // Adds one observation.
+  void Add(double x);
+
+  // Number of observations added.
+  size_t Count() const { return samples_.size(); }
+
+  // Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  // Unbiased sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double Variance() const;
+
+  // Sample standard deviation.
+  double StdDev() const;
+
+  // Smallest / largest observation; 0 when empty.
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  // Sum of all observations.
+  double Sum() const { return sum_; }
+
+  // q-quantile for q in [0, 1] by linear interpolation between order
+  // statistics; 0 when empty.
+  double Quantile(double q) const;
+
+  // Median (0.5-quantile).
+  double Median() const { return Quantile(0.5); }
+
+  // Fraction of observations strictly greater than `threshold`.
+  double FractionAbove(double threshold) const;
+
+  // "mean +- stddev [min, max]" rendering for log lines.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> sorted_;  // lazily rebuilt cache
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_UTIL_STATS_H_

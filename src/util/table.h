@@ -1,0 +1,59 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Plain-text table rendering for the benchmark harnesses. Each experiment
+// binary in bench/ prints one or more tables in the same row/series shape
+// as the paper's claims; this keeps that output aligned and diff-friendly.
+
+#ifndef MONOCLASS_UTIL_TABLE_H_
+#define MONOCLASS_UTIL_TABLE_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace monoclass {
+
+// Column-aligned text table. Usage:
+//
+//   TextTable table({"n", "probes", "ratio"});
+//   table.AddRow({"1024", "311", "1.02"});
+//   table.Print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats each value with operator<<.
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values) {
+    AddRow({Format(values)...});
+  }
+
+  // Number of data rows.
+  size_t RowCount() const { return rows_.size(); }
+
+  // Renders with a header rule and right-aligned numeric-looking cells.
+  void Print(std::ostream& out) const;
+
+ private:
+  template <typename T>
+  static std::string Format(const T& value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` significant digits (helper for harnesses).
+std::string FormatDouble(double value, int digits = 4);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_UTIL_TABLE_H_

@@ -1,0 +1,99 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for dominance width and maximum-antichain extraction, including a
+// brute-force width oracle on small random sets.
+
+#include "core/antichain.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+// Exponential-time width: largest subset that is pairwise incomparable.
+size_t BruteForceWidth(const PointSet& points) {
+  const size_t n = points.size();
+  size_t best = 0;
+  for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
+    std::vector<size_t> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) subset.push_back(i);
+    }
+    if (subset.size() > best && IsAntichain(points, subset)) {
+      best = subset.size();
+    }
+  }
+  return best;
+}
+
+TEST(DominanceWidthTest, EmptySet) {
+  EXPECT_EQ(DominanceWidth(PointSet()), 0u);
+}
+
+TEST(DominanceWidthTest, SinglePoint) {
+  EXPECT_EQ(DominanceWidth(PointSet({Point{1, 2}})), 1u);
+}
+
+TEST(DominanceWidthTest, ChainHasWidthOne) {
+  EXPECT_EQ(DominanceWidth(PointSet({Point{1, 1}, Point{2, 2}, Point{3, 3}})),
+            1u);
+}
+
+TEST(DominanceWidthTest, AntichainHasFullWidth) {
+  EXPECT_EQ(DominanceWidth(PointSet({Point{0, 2}, Point{1, 1}, Point{2, 0}})),
+            3u);
+}
+
+TEST(DominanceWidthTest, DuplicatesAreComparable) {
+  // Equal points mutually dominate, so they cannot share an antichain.
+  EXPECT_EQ(DominanceWidth(PointSet({Point{1, 1}, Point{1, 1}})), 1u);
+}
+
+TEST(DominanceWidthTest, OneDimensionIsWidthOne) {
+  Rng rng(3);
+  PointSet points;
+  for (int i = 0; i < 25; ++i) points.Add(Point{rng.UniformDouble()});
+  EXPECT_EQ(DominanceWidth(points), 1u);
+}
+
+TEST(DominanceWidthTest, MatchesBruteForceOnRandomSets) {
+  Rng rng(23);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 1 + rng.UniformInt(12);
+    const size_t d = 1 + rng.UniformInt(3);
+    const auto set = testing_util::RandomLabeledSet(rng, n, d);
+    EXPECT_EQ(DominanceWidth(set.points()), BruteForceWidth(set.points()))
+        << "trial " << trial;
+  }
+}
+
+TEST(MaximumAntichainTest, WitnessHasWidthSizeAndIsAntichain) {
+  Rng rng(29);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 1 + rng.UniformInt(25);
+    const size_t d = 1 + rng.UniformInt(4);
+    const auto set = testing_util::RandomLabeledSet(rng, n, d);
+    const auto antichain = MaximumAntichain(set.points());
+    EXPECT_EQ(antichain.size(), DominanceWidth(set.points()));
+    EXPECT_TRUE(IsAntichain(set.points(), antichain)) << "trial " << trial;
+  }
+}
+
+TEST(MaximumAntichainTest, EmptySet) {
+  EXPECT_TRUE(MaximumAntichain(PointSet()).empty());
+}
+
+TEST(IsAntichainTest, Basics) {
+  const PointSet points({Point{0, 2}, Point{1, 1}, Point{2, 2}});
+  EXPECT_TRUE(IsAntichain(points, {0, 1}));
+  EXPECT_FALSE(IsAntichain(points, {1, 2}));  // (2,2) dominates (1,1)
+  EXPECT_TRUE(IsAntichain(points, {}));
+  EXPECT_TRUE(IsAntichain(points, {2}));
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,80 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the exponential reference solver itself (it guards everything
+// else, so it gets its own hand-verifiable cases).
+
+#include "passive/brute_force.h"
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+TEST(BruteForceTest, SinglePoint) {
+  WeightedPointSet set;
+  set.Add(Point{1}, 1, 2.5);
+  const auto result = SolvePassiveBruteForce(set);
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+  // Two monotone assignments on one point: {0} and {1}.
+  EXPECT_EQ(result.num_monotone_assignments, 2u);
+}
+
+TEST(BruteForceTest, ChainCountsMonotoneAssignments) {
+  // On a 3-chain the monotone assignments are the 4 prefix splits.
+  LabeledPointSet set;
+  set.Add(Point{1}, 0);
+  set.Add(Point{2}, 0);
+  set.Add(Point{3}, 1);
+  const auto result =
+      SolvePassiveBruteForce(WeightedPointSet::UnitWeights(set));
+  EXPECT_EQ(result.num_monotone_assignments, 4u);
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+}
+
+TEST(BruteForceTest, AntichainHasAllAssignments) {
+  LabeledPointSet set;
+  set.Add(Point{0, 2}, 0);
+  set.Add(Point{1, 1}, 1);
+  set.Add(Point{2, 0}, 0);
+  const auto result =
+      SolvePassiveBruteForce(WeightedPointSet::UnitWeights(set));
+  EXPECT_EQ(result.num_monotone_assignments, 8u);  // 2^3, no constraints
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+}
+
+TEST(BruteForceTest, ForcedError) {
+  WeightedPointSet set;
+  set.Add(Point{0, 0}, 1, 3.0);
+  set.Add(Point{1, 1}, 0, 4.0);
+  EXPECT_DOUBLE_EQ(SolvePassiveBruteForce(set).optimal_weighted_error, 3.0);
+}
+
+TEST(BruteForceTest, UnweightedWrapperRounds) {
+  LabeledPointSet set;
+  set.Add(Point{0}, 1);
+  set.Add(Point{1}, 0);
+  EXPECT_EQ(OptimalErrorBruteForce(set), 1u);
+}
+
+TEST(BruteForceTest, RejectsOversizedInput) {
+  WeightedPointSet set;
+  for (size_t i = 0; i <= kBruteForceMaxPoints; ++i) {
+    set.Add(Point{static_cast<double>(i)}, 0, 1.0);
+  }
+  EXPECT_DEATH(SolvePassiveBruteForce(set), "");
+}
+
+TEST(BruteForceTest, ClassifierRealizesReportedError) {
+  WeightedPointSet set;
+  set.Add(Point{0, 0}, 1, 1.0);
+  set.Add(Point{0, 1}, 0, 2.0);
+  set.Add(Point{1, 0}, 1, 3.0);
+  set.Add(Point{1, 1}, 0, 4.0);
+  const auto result = SolvePassiveBruteForce(set);
+  EXPECT_NEAR(WeightedError(result.classifier, set),
+              result.optimal_weighted_error, 1e-12);
+}
+
+}  // namespace
+}  // namespace monoclass

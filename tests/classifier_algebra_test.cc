@@ -1,0 +1,147 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the classifier algebra (Unite / Intersect / EquivalentOn):
+// hand cases plus property tests of the lattice laws on random
+// classifiers and points.
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+MonotoneClassifier RandomClassifier(Rng& rng, size_t dimension) {
+  std::vector<Point> generators;
+  const size_t count = 1 + rng.UniformInt(4);
+  for (size_t g = 0; g < count; ++g) {
+    std::vector<double> coords(dimension);
+    for (auto& c : coords) c = rng.UniformDouble();
+    generators.push_back(Point(std::move(coords)));
+  }
+  return MonotoneClassifier::FromGenerators(std::move(generators),
+                                            dimension);
+}
+
+TEST(ClassifierAlgebraTest, UniteIsPointwiseOr) {
+  const auto a = MonotoneClassifier::FromGenerators({Point{1, 0}}, 2);
+  const auto b = MonotoneClassifier::FromGenerators({Point{0, 1}}, 2);
+  const auto both = Unite(a, b);
+  EXPECT_TRUE(both.Classify(Point{1, 0}));
+  EXPECT_TRUE(both.Classify(Point{0, 1}));
+  EXPECT_FALSE(both.Classify(Point{0.5, 0.5}));
+}
+
+TEST(ClassifierAlgebraTest, IntersectIsPointwiseAnd) {
+  const auto a = MonotoneClassifier::FromGenerators({Point{1, 0}}, 2);
+  const auto b = MonotoneClassifier::FromGenerators({Point{0, 1}}, 2);
+  const auto both = Intersect(a, b);
+  EXPECT_FALSE(both.Classify(Point{1, 0}));
+  EXPECT_FALSE(both.Classify(Point{0, 1}));
+  EXPECT_TRUE(both.Classify(Point{1, 1}));
+}
+
+TEST(ClassifierAlgebraTest, IdentityElements) {
+  Rng rng(1);
+  const auto h = RandomClassifier(rng, 2);
+  const auto zero = MonotoneClassifier::AlwaysZero(2);
+  const auto one = MonotoneClassifier::AlwaysOne(2);
+  PointSet probes;
+  for (int i = 0; i < 50; ++i) {
+    probes.Add(Point{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  EXPECT_TRUE(EquivalentOn(Unite(h, zero), h, probes));
+  EXPECT_TRUE(EquivalentOn(Intersect(h, one), h, probes));
+  EXPECT_TRUE(Unite(h, one).IsAlwaysOne());
+  EXPECT_TRUE(Intersect(h, zero).IsAlwaysZero());
+}
+
+TEST(ClassifierAlgebraTest, PointwiseSemanticsOnRandomInputs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t d = 1 + rng.UniformInt(4);
+    const auto a = RandomClassifier(rng, d);
+    const auto b = RandomClassifier(rng, d);
+    const auto united = Unite(a, b);
+    const auto intersected = Intersect(a, b);
+    for (int check = 0; check < 30; ++check) {
+      std::vector<double> coords(d);
+      for (auto& c : coords) c = rng.UniformDoubleInRange(-0.5, 1.5);
+      const Point x(std::move(coords));
+      EXPECT_EQ(united.Classify(x), a.Classify(x) || b.Classify(x));
+      EXPECT_EQ(intersected.Classify(x), a.Classify(x) && b.Classify(x));
+    }
+  }
+}
+
+TEST(ClassifierAlgebraTest, CommutativeAndAssociativeOnPoints) {
+  Rng rng(11);
+  const auto a = RandomClassifier(rng, 3);
+  const auto b = RandomClassifier(rng, 3);
+  const auto c = RandomClassifier(rng, 3);
+  PointSet probes;
+  for (int i = 0; i < 80; ++i) {
+    probes.Add(Point{rng.UniformDouble(), rng.UniformDouble(),
+                     rng.UniformDouble()});
+  }
+  EXPECT_TRUE(EquivalentOn(Unite(a, b), Unite(b, a), probes));
+  EXPECT_TRUE(EquivalentOn(Intersect(a, b), Intersect(b, a), probes));
+  EXPECT_TRUE(EquivalentOn(Unite(Unite(a, b), c), Unite(a, Unite(b, c)),
+                           probes));
+  EXPECT_TRUE(EquivalentOn(Intersect(Intersect(a, b), c),
+                           Intersect(a, Intersect(b, c)), probes));
+}
+
+TEST(ClassifierAlgebraTest, DistributiveLawOnPoints) {
+  Rng rng(13);
+  const auto a = RandomClassifier(rng, 2);
+  const auto b = RandomClassifier(rng, 2);
+  const auto c = RandomClassifier(rng, 2);
+  PointSet probes;
+  for (int i = 0; i < 80; ++i) {
+    probes.Add(Point{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  EXPECT_TRUE(EquivalentOn(Intersect(a, Unite(b, c)),
+                           Unite(Intersect(a, b), Intersect(a, c)), probes));
+}
+
+TEST(ClassifierAlgebraTest, ResultGeneratorsAreAntichains) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = RandomClassifier(rng, 2);
+    const auto b = RandomClassifier(rng, 2);
+    for (const auto& h : {Unite(a, b), Intersect(a, b)}) {
+      const auto& gens = h.generators();
+      for (size_t i = 0; i < gens.size(); ++i) {
+        for (size_t j = 0; j < gens.size(); ++j) {
+          if (i != j) {
+            EXPECT_FALSE(DominatesEq(gens[i], gens[j]));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ClassifierAlgebraTest, DimensionMismatchAborts) {
+  const auto a = MonotoneClassifier::AlwaysZero(2);
+  const auto b = MonotoneClassifier::AlwaysZero(3);
+  EXPECT_DEATH(Unite(a, b), "");
+  EXPECT_DEATH(Intersect(a, b), "");
+}
+
+TEST(EquivalentOnTest, DetectsDisagreement) {
+  const auto a = MonotoneClassifier::Threshold1D(1.0);
+  const auto b = MonotoneClassifier::Threshold1D(2.0);
+  const PointSet inside({Point{1.5}});
+  const PointSet outside({Point{0.5}, Point{3.0}});
+  EXPECT_FALSE(EquivalentOn(a, b, inside));
+  EXPECT_TRUE(EquivalentOn(a, b, outside));
+  EXPECT_TRUE(EquivalentOn(a, b, PointSet()));
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,96 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// End-to-end smoke tests of the monoclass_cli binary: stats /
+// solve-passive / solve-active / classify round trips on the committed
+// Figure 1 CSV, plus error paths. The binary path and test-data path are
+// injected by CMake compile definitions.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+#ifndef MONOCLASS_CLI_PATH
+#error "MONOCLASS_CLI_PATH must be defined by the build"
+#endif
+#ifndef MONOCLASS_TESTDATA_DIR
+#error "MONOCLASS_TESTDATA_DIR must be defined by the build"
+#endif
+
+std::string CliPath() { return MONOCLASS_CLI_PATH; }
+std::string Figure1Csv() {
+  return std::string(MONOCLASS_TESTDATA_DIR) + "/figure1.csv";
+}
+
+// Runs a command, returning {exit code, captured stdout}.
+std::pair<int, std::string> RunCommand(const std::string& command) {
+  FILE* pipe = popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return {-1, ""};
+  std::string output;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    output += buffer;
+  }
+  const int status = pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+TEST(CliTest, StatsReportsPaperFacts) {
+  const auto [code, output] =
+      RunCommand(CliPath() + " stats " + Figure1Csv());
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(output.find("points:        16"), std::string::npos) << output;
+  EXPECT_NE(output.find("width w:       6"), std::string::npos) << output;
+  EXPECT_NE(output.find("optimal k*:    3"), std::string::npos) << output;
+  EXPECT_NE(output.find("contending:    10"), std::string::npos) << output;
+}
+
+TEST(CliTest, SolvePassiveAndClassifyRoundTrip) {
+  const std::string model = ::testing::TempDir() + "/cli_model.txt";
+  const auto [solve_code, solve_output] = RunCommand(
+      CliPath() + " solve-passive " + Figure1Csv() + " --out " + model);
+  EXPECT_EQ(solve_code, 0);
+  EXPECT_NE(solve_output.find("optimal error k* = 3"), std::string::npos)
+      << solve_output;
+
+  const auto [classify_code, classify_output] =
+      RunCommand(CliPath() + " classify " + model + " " + Figure1Csv());
+  EXPECT_EQ(classify_code, 0);
+  // 16 points, 3 errors -> tp + tn = 13.
+  EXPECT_NE(classify_output.find("tp="), std::string::npos);
+  std::remove(model.c_str());
+}
+
+TEST(CliTest, SolveActiveReportsProbesAndWidth) {
+  const auto [code, output] = RunCommand(
+      CliPath() + " solve-active " + Figure1Csv() +
+      " --epsilon 0.5 --delta 0.05 --seed 3");
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(output.find("width w        = 6"), std::string::npos) << output;
+  EXPECT_NE(output.find("achieved error = 3"), std::string::npos) << output;
+}
+
+TEST(CliTest, UsageOnBadInvocation) {
+  EXPECT_NE(RunCommand(CliPath()).first, 0);
+  EXPECT_NE(RunCommand(CliPath() + " frobnicate x").first, 0);
+}
+
+TEST(CliTest, MissingFileFails) {
+  const auto [code, output] =
+      RunCommand(CliPath() + " stats /nonexistent/file.csv");
+  EXPECT_NE(code, 0);
+}
+
+TEST(CliTest, SolveActiveRequiresEpsilon) {
+  const auto [code, output] =
+      RunCommand(CliPath() + " solve-active " + Figure1Csv());
+  EXPECT_NE(code, 0);
+}
+
+}  // namespace
+}  // namespace monoclass

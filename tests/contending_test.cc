@@ -1,0 +1,90 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the Lemma 15 contending-point computation.
+
+#include "passive/contending.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+TEST(ContendingTest, MonotoneLabelsHaveNoContending) {
+  const PointSet points({Point{0, 0}, Point{1, 1}, Point{2, 2}});
+  const auto partition = ComputeContending(points, {0, 0, 1});
+  EXPECT_TRUE(partition.contending.empty());
+}
+
+TEST(ContendingTest, InversionMakesBothContending) {
+  const PointSet points({Point{0, 0}, Point{1, 1}});
+  const auto partition = ComputeContending(points, {1, 0});
+  EXPECT_EQ(partition.contending, (std::vector<size_t>{0, 1}));
+}
+
+TEST(ContendingTest, IncomparableOppositeLabelsNotContending) {
+  const PointSet points({Point{0, 1}, Point{1, 0}});
+  const auto partition = ComputeContending(points, {1, 0});
+  EXPECT_TRUE(partition.contending.empty());
+}
+
+TEST(ContendingTest, EqualPointsOppositeLabelsAreContending) {
+  const PointSet points({Point{1, 1}, Point{1, 1}});
+  const auto partition = ComputeContending(points, {0, 1});
+  EXPECT_EQ(partition.contending, (std::vector<size_t>{0, 1}));
+}
+
+TEST(ContendingTest, ChainReactionDoesNotOverreach) {
+  // 0 <= 1 <= 2 with labels 1, 0, 1: point 2 dominates the label-0 point 1
+  // but that does not make point 2 contending (it needs a label-0 point
+  // ABOVE it); point 0 is below label-0 point 1 -> contending; point 1
+  // dominates label-1 point 0 -> contending.
+  const PointSet points({Point{0, 0}, Point{1, 1}, Point{2, 2}});
+  const auto partition = ComputeContending(points, {1, 0, 1});
+  EXPECT_EQ(partition.contending, (std::vector<size_t>{0, 1}));
+  EXPECT_FALSE(partition.is_contending[2]);
+}
+
+TEST(ContendingTest, FlagsMatchIndexList) {
+  Rng rng(83);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto set = testing_util::RandomLabeledSet(rng, 25, 2);
+    const auto partition = ComputeContending(set.points(), set.labels());
+    size_t flagged = 0;
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (partition.is_contending[i]) ++flagged;
+    }
+    EXPECT_EQ(flagged, partition.contending.size());
+    for (const size_t i : partition.contending) {
+      EXPECT_TRUE(partition.is_contending[i]);
+    }
+  }
+}
+
+TEST(ContendingTest, DefinitionAuditOnRandomSets) {
+  // Re-derive contending status point by point from the definition.
+  Rng rng(89);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto set = testing_util::RandomLabeledSet(rng, 20, 3);
+    const auto partition = ComputeContending(set.points(), set.labels());
+    for (size_t i = 0; i < set.size(); ++i) {
+      bool expected = false;
+      for (size_t j = 0; j < set.size() && !expected; ++j) {
+        if (i == j || set.label(i) == set.label(j)) continue;
+        if (set.label(i) == 0) {
+          expected = DominatesEq(set.point(i), set.point(j));
+        } else {
+          expected = DominatesEq(set.point(j), set.point(i));
+        }
+      }
+      EXPECT_EQ(partition.is_contending[i], expected)
+          << "point " << i << ", trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace monoclass

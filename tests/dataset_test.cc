@@ -1,0 +1,112 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+TEST(PointSetTest, EmptySet) {
+  const PointSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.dimension(), 0u);
+}
+
+TEST(PointSetTest, AddEstablishesDimension) {
+  PointSet set;
+  set.Add(Point{1, 2});
+  EXPECT_EQ(set.dimension(), 2u);
+  EXPECT_EQ(set.size(), 1u);
+  set.Add(Point{3, 4});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[1], (Point{3, 4}));
+}
+
+TEST(PointSetTest, DimensionMismatchAborts) {
+  PointSet set;
+  set.Add(Point{1, 2});
+  EXPECT_DEATH(set.Add(Point{1, 2, 3}), "");
+}
+
+TEST(PointSetTest, VectorConstructorValidates) {
+  const PointSet set({Point{1, 2}, Point{3, 4}});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_DEATH(PointSet({Point{1}, Point{1, 2}}), "");
+}
+
+TEST(PointSetTest, Subset) {
+  const PointSet set({Point{0}, Point{1}, Point{2}, Point{3}});
+  const PointSet subset = set.Subset({3, 1});
+  ASSERT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset[0], Point{3});
+  EXPECT_EQ(subset[1], Point{1});
+}
+
+TEST(LabeledPointSetTest, Basics) {
+  LabeledPointSet set;
+  set.Add(Point{1}, 1);
+  set.Add(Point{2}, 0);
+  set.Add(Point{3}, 1);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.label(0), 1);
+  EXPECT_EQ(set.label(1), 0);
+  EXPECT_EQ(set.CountPositive(), 2u);
+}
+
+TEST(LabeledPointSetTest, RejectsNonBinaryLabels) {
+  LabeledPointSet set;
+  EXPECT_DEATH(set.Add(Point{1}, 2), "");
+}
+
+TEST(LabeledPointSetTest, Subset) {
+  LabeledPointSet set;
+  set.Add(Point{1}, 1);
+  set.Add(Point{2}, 0);
+  const LabeledPointSet subset = set.Subset({1});
+  ASSERT_EQ(subset.size(), 1u);
+  EXPECT_EQ(subset.label(0), 0);
+}
+
+TEST(WeightedPointSetTest, UnitWeightsMatchLabeledSet) {
+  LabeledPointSet labeled;
+  labeled.Add(Point{1, 1}, 1);
+  labeled.Add(Point{2, 2}, 0);
+  const WeightedPointSet weighted = WeightedPointSet::UnitWeights(labeled);
+  ASSERT_EQ(weighted.size(), 2u);
+  EXPECT_DOUBLE_EQ(weighted.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(weighted.weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(weighted.TotalWeight(), 2.0);
+}
+
+TEST(WeightedPointSetTest, RejectsNonPositiveWeights) {
+  WeightedPointSet set;
+  EXPECT_DEATH(set.Add(Point{1}, 0, 0.0), "");
+  EXPECT_DEATH(set.Add(Point{1}, 0, -1.0), "");
+}
+
+TEST(WeightedPointSetTest, AppendConcatenates) {
+  WeightedPointSet a;
+  a.Add(Point{1}, 0, 2.0);
+  WeightedPointSet b;
+  b.Add(Point{2}, 1, 3.0);
+  b.Add(Point{3}, 0, 4.0);
+  a.Append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.TotalWeight(), 9.0);
+  EXPECT_EQ(a.label(1), 1);
+}
+
+TEST(WeightedPointSetTest, SubsetKeepsWeights) {
+  WeightedPointSet set;
+  set.Add(Point{1}, 0, 2.0);
+  set.Add(Point{2}, 1, 3.0);
+  const WeightedPointSet subset = set.Subset({1});
+  ASSERT_EQ(subset.size(), 1u);
+  EXPECT_DOUBLE_EQ(subset.weight(0), 3.0);
+}
+
+}  // namespace
+}  // namespace monoclass

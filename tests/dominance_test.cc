@@ -1,0 +1,118 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the dominance DAG builder: edge semantics, the duplicate-point
+// index tie-break, acyclicity, and transitive closure.
+
+#include "core/dominance.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+bool HasEdge(const DagAdjacency& dag, size_t u, size_t v) {
+  const auto& out = dag[u];
+  return std::find(out.begin(), out.end(), static_cast<int>(v)) != out.end();
+}
+
+TEST(DominanceDagTest, SimpleChain) {
+  const PointSet points({Point{0, 0}, Point{1, 1}, Point{2, 2}});
+  const DagAdjacency dag = BuildDominanceDag(points);
+  EXPECT_TRUE(HasEdge(dag, 0, 1));
+  EXPECT_TRUE(HasEdge(dag, 1, 2));
+  EXPECT_TRUE(HasEdge(dag, 0, 2));  // transitively closed
+  EXPECT_FALSE(HasEdge(dag, 1, 0));
+  EXPECT_FALSE(HasEdge(dag, 2, 0));
+}
+
+TEST(DominanceDagTest, IncomparablePointsHaveNoEdges) {
+  const PointSet points({Point{0, 1}, Point{1, 0}});
+  const DagAdjacency dag = BuildDominanceDag(points);
+  EXPECT_TRUE(dag[0].empty());
+  EXPECT_TRUE(dag[1].empty());
+}
+
+TEST(DominanceDagTest, DuplicatePointsOrderedByIndex) {
+  const PointSet points({Point{1, 1}, Point{1, 1}, Point{1, 1}});
+  const DagAdjacency dag = BuildDominanceDag(points);
+  EXPECT_TRUE(HasEdge(dag, 0, 1));
+  EXPECT_TRUE(HasEdge(dag, 0, 2));
+  EXPECT_TRUE(HasEdge(dag, 1, 2));
+  EXPECT_FALSE(HasEdge(dag, 1, 0));
+  EXPECT_FALSE(HasEdge(dag, 2, 0));
+  EXPECT_FALSE(HasEdge(dag, 2, 1));
+}
+
+TEST(DominanceDagTest, IsAcyclic) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Include duplicates deliberately: draw coordinates from a tiny grid.
+    PointSet points;
+    const size_t n = 2 + rng.UniformInt(20);
+    for (size_t i = 0; i < n; ++i) {
+      points.Add(Point{static_cast<double>(rng.UniformInt(3)),
+                       static_cast<double>(rng.UniformInt(3))});
+    }
+    const DagAdjacency dag = BuildDominanceDag(points);
+    // Kahn topological sort must consume every vertex.
+    std::vector<int> indegree(n, 0);
+    for (const auto& out : dag) {
+      for (const int v : out) ++indegree[static_cast<size_t>(v)];
+    }
+    std::vector<size_t> queue;
+    for (size_t v = 0; v < n; ++v) {
+      if (indegree[v] == 0) queue.push_back(v);
+    }
+    size_t consumed = 0;
+    while (!queue.empty()) {
+      const size_t u = queue.back();
+      queue.pop_back();
+      ++consumed;
+      for (const int v : dag[u]) {
+        if (--indegree[static_cast<size_t>(v)] == 0) {
+          queue.push_back(static_cast<size_t>(v));
+        }
+      }
+    }
+    EXPECT_EQ(consumed, n) << "cycle detected, trial " << trial;
+  }
+}
+
+TEST(DominanceDagTest, IsTransitivelyClosed) {
+  Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    PointSet points;
+    const size_t n = 2 + rng.UniformInt(15);
+    for (size_t i = 0; i < n; ++i) {
+      points.Add(Point{static_cast<double>(rng.UniformInt(4)),
+                       static_cast<double>(rng.UniformInt(4))});
+    }
+    const DagAdjacency dag = BuildDominanceDag(points);
+    for (size_t u = 0; u < n; ++u) {
+      for (const int v : dag[u]) {
+        for (const int w : dag[static_cast<size_t>(v)]) {
+          EXPECT_TRUE(HasEdge(dag, u, static_cast<size_t>(w)))
+              << u << " -> " << v << " -> " << w << ", trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST(DominanceSucceedsTest, MatchesDefinition) {
+  const PointSet points({Point{0, 0}, Point{1, 1}, Point{0, 0}, Point{0, 2}});
+  EXPECT_TRUE(DominanceSucceeds(points, 1, 0));   // strict dominance
+  EXPECT_FALSE(DominanceSucceeds(points, 0, 1));
+  EXPECT_TRUE(DominanceSucceeds(points, 2, 0));   // equal, ties to index
+  EXPECT_FALSE(DominanceSucceeds(points, 0, 2));
+  EXPECT_FALSE(DominanceSucceeds(points, 3, 1));  // incomparable
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,161 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "data/entity_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "passive/flow_solver.h"
+
+namespace monoclass {
+namespace {
+
+TEST(EntityMatchingTest, SizesAndParallelism) {
+  EntityMatchingOptions options;
+  options.num_pairs = 300;
+  options.dimension = 4;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+  EXPECT_EQ(instance.data.size(), 300u);
+  EXPECT_EQ(instance.pairs.size(), 300u);
+  EXPECT_EQ(instance.data.dimension(), 4u);
+}
+
+TEST(EntityMatchingTest, LabelsMatchPairFlags) {
+  EntityMatchingOptions options;
+  options.num_pairs = 200;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+  for (size_t i = 0; i < instance.data.size(); ++i) {
+    EXPECT_EQ(instance.data.label(i), instance.pairs[i].is_match ? 1 : 0);
+  }
+}
+
+TEST(EntityMatchingTest, MatchFractionRoughlyRespected) {
+  EntityMatchingOptions options;
+  options.num_pairs = 2000;
+  options.match_fraction = 0.4;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+  const double fraction =
+      static_cast<double>(instance.data.CountPositive()) /
+      static_cast<double>(instance.data.size());
+  EXPECT_NEAR(fraction, 0.4, 0.05);
+}
+
+TEST(EntityMatchingTest, FeaturesInUnitCube) {
+  EntityMatchingOptions options;
+  options.num_pairs = 300;
+  options.dimension = 5;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+  for (size_t i = 0; i < instance.data.size(); ++i) {
+    for (size_t dim = 0; dim < 5; ++dim) {
+      EXPECT_GE(instance.data.point(i)[dim], 0.0);
+      EXPECT_LE(instance.data.point(i)[dim], 1.0);
+    }
+  }
+}
+
+TEST(EntityMatchingTest, WorkloadIsNearlyMonotone) {
+  // The premise of the paper: similarity features separate matches from
+  // non-matches almost monotonically -- k* should be a small fraction of n.
+  EntityMatchingOptions options;
+  options.num_pairs = 800;
+  options.typo_rate = 0.15;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+  const size_t optimum = OptimalError(instance.data);
+  EXPECT_LT(optimum, instance.data.size() / 10)
+      << "similarity features should make the labels near-monotone";
+}
+
+TEST(EntityMatchingTest, HigherTypoRateRaisesDifficulty) {
+  EntityMatchingOptions clean;
+  clean.num_pairs = 600;
+  clean.typo_rate = 0.02;
+  clean.seed = 5;
+  EntityMatchingOptions dirty = clean;
+  dirty.typo_rate = 0.5;
+  const size_t clean_optimum =
+      OptimalError(GenerateEntityMatching(clean).data);
+  const size_t dirty_optimum =
+      OptimalError(GenerateEntityMatching(dirty).data);
+  EXPECT_LE(clean_optimum, dirty_optimum);
+}
+
+TEST(EntityMatchingTest, DeterministicUnderSeed) {
+  EntityMatchingOptions options;
+  options.num_pairs = 100;
+  options.seed = 9;
+  const auto a = GenerateEntityMatching(options);
+  const auto b = GenerateEntityMatching(options);
+  EXPECT_EQ(a.data.labels(), b.data.labels());
+  for (size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].left, b.pairs[i].left);
+    EXPECT_EQ(a.pairs[i].right, b.pairs[i].right);
+  }
+}
+
+TEST(EntityMatchingTest, MatchPairsShareAnEntity) {
+  EntityMatchingOptions options;
+  options.num_pairs = 400;
+  options.typo_rate = 0.1;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+  // Matching pairs should on average be far more similar than non-matching
+  // ones on the first feature (normalized Levenshtein).
+  double match_sum = 0.0;
+  double nonmatch_sum = 0.0;
+  size_t matches = 0;
+  size_t nonmatches = 0;
+  for (size_t i = 0; i < instance.data.size(); ++i) {
+    if (instance.pairs[i].is_match) {
+      match_sum += instance.data.point(i)[0];
+      ++matches;
+    } else {
+      nonmatch_sum += instance.data.point(i)[0];
+      ++nonmatches;
+    }
+  }
+  ASSERT_GT(matches, 0u);
+  ASSERT_GT(nonmatches, 0u);
+  EXPECT_GT(match_sum / static_cast<double>(matches),
+            nonmatch_sum / static_cast<double>(nonmatches) + 0.2);
+}
+
+TEST(EntityMatchingTest, PeopleDomainGeneratesPersonRecords) {
+  EntityMatchingOptions options;
+  options.domain = RecordDomain::kPeople;
+  options.num_pairs = 150;
+  options.seed = 13;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+  EXPECT_EQ(instance.data.size(), 150u);
+  // Person records mention a street ("street" or abbreviated "st").
+  size_t with_street = 0;
+  for (const auto& pair : instance.pairs) {
+    if (pair.left.find(" street ") != std::string::npos ||
+        pair.left.find(" st ") != std::string::npos) {
+      ++with_street;
+    }
+  }
+  EXPECT_EQ(with_street, instance.pairs.size());
+}
+
+TEST(EntityMatchingTest, PeopleDomainIsNearlyMonotoneToo) {
+  EntityMatchingOptions options;
+  options.domain = RecordDomain::kPeople;
+  options.num_pairs = 600;
+  options.typo_rate = 0.15;
+  options.seed = 17;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+  EXPECT_LT(OptimalError(instance.data), instance.data.size() / 8);
+}
+
+TEST(EntityMatchingTest, DomainsProduceDifferentRecords) {
+  EntityMatchingOptions products;
+  products.num_pairs = 50;
+  products.seed = 19;
+  EntityMatchingOptions people = products;
+  people.domain = RecordDomain::kPeople;
+  const auto a = GenerateEntityMatching(products);
+  const auto b = GenerateEntityMatching(people);
+  EXPECT_NE(a.pairs[0].left, b.pairs[0].left);
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,113 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the threshold error curve -- the g1 component of the
+// Section 3 framework. The breakpoint and tie semantics tested here are
+// exactly what the recursion's alpha/beta hull computation relies on.
+
+#include "active/error_curve.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ErrorCurveTest, EmptySample) {
+  const ErrorCurve curve = ComputeErrorCurve({});
+  ASSERT_EQ(curve.NumCandidates(), 1u);
+  EXPECT_EQ(curve.taus[0], -kInf);
+  EXPECT_EQ(curve.errors[0], 0u);
+}
+
+TEST(ErrorCurveTest, SinglePositiveDraw) {
+  const ErrorCurve curve = ComputeErrorCurve({{5.0, 1}});
+  // tau = -inf classifies it 1 (correct); tau = 5 classifies it 0.
+  ASSERT_EQ(curve.NumCandidates(), 2u);
+  EXPECT_EQ(curve.errors[0], 0u);
+  EXPECT_EQ(curve.errors[1], 1u);
+  EXPECT_EQ(curve.MinError(), 0u);
+}
+
+TEST(ErrorCurveTest, SingleNegativeDraw) {
+  const ErrorCurve curve = ComputeErrorCurve({{5.0, 0}});
+  EXPECT_EQ(curve.errors[0], 1u);
+  EXPECT_EQ(curve.errors[1], 0u);
+}
+
+TEST(ErrorCurveTest, CleanThresholdReachesZero) {
+  const ErrorCurve curve = ComputeErrorCurve(
+      {{1, 0}, {2, 0}, {3, 1}, {4, 1}});
+  // tau = 2 separates perfectly.
+  ASSERT_EQ(curve.NumCandidates(), 5u);
+  EXPECT_EQ(curve.errors[2], 0u);  // taus: -inf, 1, 2, 3, 4
+  EXPECT_EQ(curve.MinError(), 0u);
+}
+
+TEST(ErrorCurveTest, TiedCoordinatesMoveTogether) {
+  // Two draws at the same coordinate with opposite labels: every
+  // candidate mis-classifies exactly one of them.
+  const ErrorCurve curve = ComputeErrorCurve({{2, 1}, {2, 0}});
+  ASSERT_EQ(curve.NumCandidates(), 2u);
+  EXPECT_EQ(curve.errors[0], 1u);
+  EXPECT_EQ(curve.errors[1], 1u);
+}
+
+TEST(ErrorCurveTest, DuplicateDrawsCountMultiply) {
+  // With-replacement sampling can draw the same point twice; each draw
+  // contributes its own unit.
+  const ErrorCurve curve = ComputeErrorCurve({{3, 1}, {3, 1}, {3, 1}});
+  EXPECT_EQ(curve.errors[0], 0u);
+  EXPECT_EQ(curve.errors[1], 3u);
+}
+
+TEST(ErrorCurveTest, MatchesBruteForceOnRandomSamples) {
+  Rng rng(61);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<LabeledDraw> draws(1 + rng.UniformInt(30));
+    for (auto& draw : draws) {
+      draw.coordinate = static_cast<double>(rng.UniformInt(10));
+      draw.label = rng.Bernoulli(0.5) ? 1 : 0;
+    }
+    const ErrorCurve curve = ComputeErrorCurve(draws);
+    for (size_t k = 0; k < curve.NumCandidates(); ++k) {
+      const double tau = curve.taus[k];
+      size_t expected = 0;
+      for (const auto& draw : draws) {
+        const bool predicted = draw.coordinate > tau;
+        if (predicted != (draw.label == 1)) ++expected;
+      }
+      ASSERT_EQ(curve.errors[k], expected)
+          << "trial " << trial << " candidate " << k << " tau " << tau;
+    }
+  }
+}
+
+TEST(ErrorCurveTest, TausAreSortedAndDistinct) {
+  Rng rng(67);
+  std::vector<LabeledDraw> draws(60);
+  for (auto& draw : draws) {
+    draw.coordinate = static_cast<double>(rng.UniformInt(8));
+    draw.label = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  const ErrorCurve curve = ComputeErrorCurve(draws);
+  for (size_t k = 1; k < curve.taus.size(); ++k) {
+    EXPECT_LT(curve.taus[k - 1], curve.taus[k]);
+  }
+}
+
+TEST(ErrorCurveTest, EndpointErrorsArePureCounts) {
+  // err(-inf) = #label-0 draws; err(max coordinate) = #label-1 draws.
+  const ErrorCurve curve = ComputeErrorCurve(
+      {{1, 0}, {2, 1}, {3, 0}, {4, 1}, {5, 1}});
+  EXPECT_EQ(curve.errors.front(), 2u);
+  EXPECT_EQ(curve.errors.back(), 3u);
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,157 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// End-to-end integration tests across every layer: the full active
+// pipeline (chain decomposition -> per-chain sampling -> passive flow
+// solve on Sigma) against ground-truth optima on realistic workloads, and
+// the paper's Theorem 3 composition claim that the passive solver is the
+// only exact-solve step the active algorithm needs.
+
+#include <gtest/gtest.h>
+
+#include "active/baselines.h"
+#include "active/multi_d.h"
+#include "active/oracle.h"
+#include "core/antichain.h"
+#include "data/entity_matching.h"
+#include "data/synthetic.h"
+#include "passive/flow_solver.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+TEST(IntegrationTest, EntityMatchingActivePipeline) {
+  EntityMatchingOptions data_options;
+  data_options.num_pairs = 1500;
+  data_options.typo_rate = 0.15;
+  data_options.seed = 3;
+  const EntityMatchingInstance instance =
+      GenerateEntityMatching(data_options);
+  const size_t optimum = OptimalError(instance.data);
+
+  InMemoryOracle oracle(instance.data);
+  ActiveSolveOptions options;
+  options.sampling = ActiveSamplingParams::Practical(0.5, 0.05);
+  options.seed = 12;
+  const auto result =
+      SolveActiveMultiD(instance.data.points(), oracle, options);
+
+  const size_t error = CountErrors(result.classifier, instance.data);
+  EXPECT_GE(error, optimum);
+  // Loose integration bar (the statistical guarantee is covered by the
+  // dedicated trials in multi_d_test): within 2x + slack of optimal.
+  EXPECT_LE(error, 2 * optimum + 20);
+  EXPECT_LE(result.probes, instance.data.size());
+}
+
+TEST(IntegrationTest, ActiveMatchesPassiveWhenProbingEverything) {
+  // With Paper constants every level full-probes, so the active pipeline
+  // must reproduce the exact passive optimum.
+  EntityMatchingOptions data_options;
+  data_options.num_pairs = 300;
+  data_options.seed = 7;
+  const EntityMatchingInstance instance =
+      GenerateEntityMatching(data_options);
+  const size_t optimum = OptimalError(instance.data);
+
+  InMemoryOracle oracle(instance.data);
+  ActiveSolveOptions options;
+  options.sampling = ActiveSamplingParams::Paper(0.5, 0.01);
+  const auto result =
+      SolveActiveMultiD(instance.data.points(), oracle, options);
+  EXPECT_EQ(CountErrors(result.classifier, instance.data), optimum);
+  EXPECT_EQ(result.probes, instance.data.size());
+}
+
+TEST(IntegrationTest, HeadToHeadOrderingOnNoisyWideInstance) {
+  ChainInstanceOptions data_options;
+  data_options.num_chains = 10;
+  data_options.chain_length = 4096;
+  data_options.noise_per_chain = 30;
+  data_options.seed = 11;
+  const ChainInstance instance = GenerateChainInstance(data_options);
+  const size_t n = instance.data.size();
+
+  InMemoryOracle oracle_ours(instance.data);
+  ActiveSolveOptions ours_options;
+  ours_options.sampling = ActiveSamplingParams::Practical(1.0, 0.05);
+  ours_options.precomputed_chains = instance.chains;
+  const auto ours =
+      SolveActiveMultiD(instance.data.points(), oracle_ours, ours_options);
+
+  InMemoryOracle oracle_tao(instance.data);
+  Tao18Options tao_options;
+  tao_options.precomputed_chains = instance.chains;
+  const auto tao =
+      SolveTao18(instance.data.points(), oracle_tao, tao_options);
+
+  InMemoryOracle oracle_all(instance.data);
+  const auto all = SolveProbeAll(instance.data.points(), oracle_all);
+
+  // Probe ordering: tao18 << ours < probe-all = n.
+  EXPECT_LT(tao.probes, ours.probes);
+  EXPECT_LT(ours.probes, n);
+  EXPECT_EQ(all.probes, n);
+
+  // Error ordering: probe-all = k* <= ours <= tao (on average; allow
+  // equality and small slack for this single seed).
+  const size_t k_star = CountErrors(all.classifier, instance.data);
+  EXPECT_EQ(k_star, OptimalError(instance.data));
+  EXPECT_GE(CountErrors(ours.classifier, instance.data), k_star);
+}
+
+TEST(IntegrationTest, WidthOneInstanceDegeneratesToOneD) {
+  // A totally ordered multi-d instance: width 1, single chain, so the
+  // multi-d solver is exactly the 1D solver.
+  LabeledPointSet set;
+  for (size_t i = 0; i < 2000; ++i) {
+    const double t = static_cast<double>(i);
+    set.Add(Point{t, 2.0 * t, t + 1.0}, i >= 1200 ? 1 : 0);
+  }
+  EXPECT_EQ(DominanceWidth(set.points()), 1u);
+  InMemoryOracle oracle(set);
+  ActiveSolveOptions options;
+  options.sampling = ActiveSamplingParams::Practical(0.5, 0.05);
+  const auto result = SolveActiveMultiD(set.points(), oracle, options);
+  EXPECT_EQ(result.num_chains, 1u);
+  EXPECT_EQ(CountErrors(result.classifier, set), 0u);
+  EXPECT_LT(result.probes, set.size());
+}
+
+TEST(IntegrationTest, PassiveSolverHandlesSigmaStyleInputs) {
+  // Sigma sets have wildly varying weights; make sure the flow solver's
+  // effective-infinity logic stays sound there (weights up to ~n).
+  WeightedPointSet set;
+  Rng rng(17);
+  for (size_t i = 0; i < 200; ++i) {
+    set.Add(Point{rng.UniformDouble(), rng.UniformDouble()},
+            rng.Bernoulli(0.5) ? 1 : 0,
+            rng.UniformDoubleInRange(0.1, 500.0));
+  }
+  const auto result = SolvePassiveWeighted(set);
+  EXPECT_TRUE(IsMonotoneAssignment(set.points(), result.assignment));
+  EXPECT_NEAR(result.optimal_weighted_error, result.flow_value, 1e-6);
+}
+
+TEST(IntegrationTest, EndToEndOnPlantedHighDimensional) {
+  PlantedOptions data_options;
+  data_options.num_points = 1200;
+  data_options.dimension = 6;
+  data_options.noise_flips = 30;
+  data_options.seed = 19;
+  const PlantedInstance instance = GeneratePlanted(data_options);
+  const size_t optimum = OptimalError(instance.data);
+
+  InMemoryOracle oracle(instance.data);
+  ActiveSolveOptions options;
+  options.sampling = ActiveSamplingParams::Practical(1.0, 0.1);
+  const auto result =
+      SolveActiveMultiD(instance.data.points(), oracle, options);
+  const size_t error = CountErrors(result.classifier, instance.data);
+  EXPECT_GE(error, optimum);
+  EXPECT_LE(error, 2 * optimum + 20);
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,112 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the 1D exact weighted solver, including agreement with the
+// flow solver (two independent algorithms for the same problem).
+
+#include "passive/isotonic_1d.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "passive/flow_solver.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Isotonic1DTest, SinglePositivePoint) {
+  const auto result = Solve1DWeighted({{1.0, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+  EXPECT_EQ(result.tau, -kInf);  // all-1 is optimal
+}
+
+TEST(Isotonic1DTest, SingleNegativePoint) {
+  const auto result = Solve1DWeighted({{1.0, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+  EXPECT_GE(result.tau, 1.0);  // threshold at/above the point
+}
+
+TEST(Isotonic1DTest, CleanSplit) {
+  const auto result = Solve1DWeighted(
+      {{1, 0, 1}, {2, 0, 1}, {3, 1, 1}, {4, 1, 1}});
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+  EXPECT_DOUBLE_EQ(result.tau, 2.0);
+}
+
+TEST(Isotonic1DTest, WeightsSteerTheThreshold) {
+  // One heavy inverted positive below light negatives.
+  const auto result = Solve1DWeighted(
+      {{1, 1, 10}, {2, 0, 1}, {3, 0, 1}});
+  // all-1 errs 2 (weights 1+1); threshold >= 3 errs 10. Optimal: 2.
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 2.0);
+  EXPECT_EQ(result.tau, -kInf);
+}
+
+TEST(Isotonic1DTest, TiesMoveTogether) {
+  // Two points at the same coordinate with opposite labels: any threshold
+  // mis-classifies exactly one of them (weights 1 and 3: best is 1).
+  const auto result = Solve1DWeighted({{2, 1, 3}, {2, 0, 1}});
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 1.0);
+}
+
+TEST(Isotonic1DTest, AlternatingLabels) {
+  const auto result = Solve1DWeighted(
+      {{1, 1, 1}, {2, 0, 1}, {3, 1, 1}, {4, 0, 1}, {5, 1, 1}});
+  // labels 1,0,1,0,1: best error is 2 (e.g. all-1).
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 2.0);
+}
+
+TEST(Isotonic1DTest, ThresholdSemanticsAreStrict) {
+  // Optimal tau = 5 must classify the point at 5 as 0.
+  const auto result = Solve1DWeighted({{5, 0, 1}, {6, 1, 1}});
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+  const auto h = MonotoneClassifier::Threshold1D(result.tau);
+  EXPECT_FALSE(h.Classify(Point{5}));
+  EXPECT_TRUE(h.Classify(Point{6}));
+}
+
+TEST(Isotonic1DTest, AgreesWithFlowSolverOnRandomInputs) {
+  Rng rng(73);
+  for (int trial = 0; trial < 80; ++trial) {
+    WeightedPointSet set;
+    const size_t n = 1 + rng.UniformInt(30);
+    for (size_t i = 0; i < n; ++i) {
+      // Coarse grid to exercise ties.
+      set.Add(Point{static_cast<double>(rng.UniformInt(8))},
+              rng.Bernoulli(0.5) ? 1 : 0,
+              rng.UniformDoubleInRange(0.5, 3.0));
+    }
+    const auto direct = Solve1DWeighted(ToWeighted1D(set));
+    const auto flow = SolvePassiveWeighted(set);
+    EXPECT_NEAR(direct.optimal_weighted_error, flow.optimal_weighted_error,
+                1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Isotonic1DTest, ClassifierWrapperAchievesReportedError) {
+  Rng rng(79);
+  for (int trial = 0; trial < 40; ++trial) {
+    WeightedPointSet set;
+    const size_t n = 1 + rng.UniformInt(25);
+    for (size_t i = 0; i < n; ++i) {
+      set.Add(Point{rng.UniformDouble()}, rng.Bernoulli(0.4) ? 1 : 0,
+              rng.UniformDoubleInRange(0.5, 2.0));
+    }
+    const auto points = ToWeighted1D(set);
+    const auto result = Solve1DWeighted(points);
+    const auto h = Solve1DWeightedClassifier(points);
+    EXPECT_NEAR(WeightedError(h, set), result.optimal_weighted_error, 1e-9);
+  }
+}
+
+TEST(Isotonic1DTest, RejectsEmptyInput) {
+  EXPECT_DEATH(Solve1DWeighted({}), "");
+}
+
+}  // namespace
+}  // namespace monoclass

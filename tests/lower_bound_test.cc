@@ -1,0 +1,166 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the Section 6 lower-bound machinery: family construction,
+// Lemma 21 (no classifier optimal for both P00(i) and P11(i)), the exact
+// simulation of the empowered deterministic model, and agreement with the
+// Lemma 19 closed forms.
+
+#include "active/lower_bound.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "passive/flow_solver.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+TEST(LowerBoundFamilyTest, DefaultLabelsAlternate) {
+  // Away from the anomaly pair, odd points are 1 and even points are 0.
+  const LabeledPointSet input = LowerBoundInput(8, 2, false);
+  ASSERT_EQ(input.size(), 8u);
+  EXPECT_EQ(input.label(0), 1);  // point 1
+  EXPECT_EQ(input.label(1), 0);  // point 2
+  EXPECT_EQ(input.label(4), 1);  // point 5
+  EXPECT_EQ(input.label(5), 0);  // point 6
+}
+
+TEST(LowerBoundFamilyTest, AnomalyPairFlips) {
+  const LabeledPointSet p00 = LowerBoundInput(8, 2, false);
+  EXPECT_EQ(p00.label(2), 0);  // point 3 forced to 0
+  EXPECT_EQ(p00.label(3), 0);  // point 4 stays 0
+  const LabeledPointSet p11 = LowerBoundInput(8, 2, true);
+  EXPECT_EQ(p11.label(2), 1);  // point 3 stays 1
+  EXPECT_EQ(p11.label(3), 1);  // point 4 forced to 1
+}
+
+TEST(LowerBoundFamilyTest, OptimalErrorIsHalfNMinusOne) {
+  for (const size_t n : {4u, 8u, 12u}) {
+    for (size_t pair = 1; pair <= n / 2; ++pair) {
+      for (const bool is_11 : {false, true}) {
+        const LabeledPointSet input = LowerBoundInput(n, pair, is_11);
+        EXPECT_EQ(OptimalError(input), LowerBoundOptimalError(n))
+            << "n=" << n << " pair=" << pair << " is_11=" << is_11;
+      }
+    }
+  }
+}
+
+TEST(LowerBoundFamilyTest, AllOnesOptimalFor11AllZerosFor00) {
+  const size_t n = 10;
+  const auto all_ones = MonotoneClassifier::AlwaysOne(1);
+  const auto all_zeros = MonotoneClassifier::AlwaysZero(1);
+  for (size_t pair = 1; pair <= n / 2; ++pair) {
+    EXPECT_EQ(CountErrors(all_ones, LowerBoundInput(n, pair, true)),
+              LowerBoundOptimalError(n));
+    EXPECT_EQ(CountErrors(all_zeros, LowerBoundInput(n, pair, false)),
+              LowerBoundOptimalError(n));
+  }
+}
+
+TEST(Lemma21Test, NoThresholdOptimalForBothInputsOfAPair) {
+  const size_t n = 12;
+  const size_t optimal = LowerBoundOptimalError(n);
+  for (size_t pair = 1; pair <= n / 2; ++pair) {
+    const LabeledPointSet p00 = LowerBoundInput(n, pair, false);
+    const LabeledPointSet p11 = LowerBoundInput(n, pair, true);
+    // Effective thresholds: -inf and each point value.
+    std::vector<double> taus = {-1e300};
+    for (size_t v = 1; v <= n; ++v) taus.push_back(static_cast<double>(v));
+    for (const double tau : taus) {
+      const auto h = MonotoneClassifier::Threshold1D(tau);
+      const bool optimal_for_both =
+          CountErrors(h, p00) <= optimal && CountErrors(h, p11) <= optimal;
+      EXPECT_FALSE(optimal_for_both) << "tau = " << tau;
+    }
+  }
+}
+
+TEST(EvaluateStrategyTest, MatchesClosedFormsForPrefixStrategies) {
+  const size_t n = 40;
+  for (size_t l = 0; l <= n / 2; ++l) {
+    DeterministicPairStrategy strategy;
+    strategy.pair_order.resize(l);
+    std::iota(strategy.pair_order.begin(), strategy.pair_order.end(),
+              size_t{1});
+    strategy.fallback_tau = -1e300;  // all-1 fallback
+    const FamilyRunStats stats = EvaluateStrategy(n, strategy);
+    EXPECT_EQ(stats.totalcost, PredictedTotalCost(n, l)) << "l=" << l;
+    EXPECT_GE(stats.nonoptcnt, PredictedNonOptLowerBound(n, l)) << "l=" << l;
+  }
+}
+
+TEST(EvaluateStrategyTest, FullProbingIsAlwaysOptimal) {
+  const size_t n = 20;
+  DeterministicPairStrategy strategy;
+  strategy.pair_order.resize(n / 2);
+  std::iota(strategy.pair_order.begin(), strategy.pair_order.end(),
+            size_t{1});
+  const FamilyRunStats stats = EvaluateStrategy(n, strategy);
+  EXPECT_EQ(stats.nonoptcnt, 0u);
+}
+
+TEST(EvaluateStrategyTest, NoProbingErrsOnAtLeastHalf) {
+  const size_t n = 20;
+  DeterministicPairStrategy strategy;  // probes nothing
+  const FamilyRunStats stats = EvaluateStrategy(n, strategy);
+  EXPECT_EQ(stats.totalcost, 0u);
+  // Lemma 21: the fixed output errs on at least one input per pair.
+  EXPECT_GE(stats.nonoptcnt, n / 2);
+}
+
+TEST(EvaluateStrategyTest, DuplicatePairsInOrderCountOnce) {
+  const size_t n = 12;
+  DeterministicPairStrategy with_duplicates;
+  with_duplicates.pair_order = {1, 1, 2, 2, 3};
+  DeterministicPairStrategy clean;
+  clean.pair_order = {1, 2, 3};
+  const FamilyRunStats a = EvaluateStrategy(n, with_duplicates);
+  const FamilyRunStats b = EvaluateStrategy(n, clean);
+  EXPECT_EQ(a.totalcost, b.totalcost);
+  EXPECT_EQ(a.nonoptcnt, b.nonoptcnt);
+}
+
+TEST(EvaluateStrategyTest, AccuracyForcesQuadraticCost) {
+  // Lemma 19's message: nonoptcnt <= n/4 forces totalcost = Omega(n^2).
+  const size_t n = 64;
+  for (size_t l = 0; l <= n / 2; ++l) {
+    DeterministicPairStrategy strategy;
+    strategy.pair_order.resize(l);
+    std::iota(strategy.pair_order.begin(), strategy.pair_order.end(),
+              size_t{1});
+    const FamilyRunStats stats = EvaluateStrategy(n, strategy);
+    if (stats.nonoptcnt <= n / 4) {
+      EXPECT_GE(stats.totalcost, n * n / 8);
+    }
+  }
+}
+
+TEST(EvaluateStrategyTest, RandomOrdersMatchFormulaToo) {
+  Rng rng(97);
+  const size_t n = 30;
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t l = rng.UniformInt(n / 2 + 1);
+    std::vector<size_t> pairs(n / 2);
+    std::iota(pairs.begin(), pairs.end(), size_t{1});
+    rng.Shuffle(pairs);
+    DeterministicPairStrategy strategy;
+    strategy.pair_order.assign(pairs.begin(),
+                               pairs.begin() + static_cast<long>(l));
+    const FamilyRunStats stats = EvaluateStrategy(n, strategy);
+    EXPECT_EQ(stats.totalcost, PredictedTotalCost(n, l));
+  }
+}
+
+TEST(LowerBoundInputTest, RejectsBadArguments) {
+  EXPECT_DEATH(LowerBoundInput(7, 1, false), "");   // odd n
+  EXPECT_DEATH(LowerBoundInput(8, 0, false), "");   // pair out of range
+  EXPECT_DEATH(LowerBoundInput(8, 5, false), "");
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,140 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for Hopcroft-Karp and Kuhn bipartite matching and the Koenig
+// vertex-cover construction. The two matching algorithms cross-check each
+// other on random graphs; Koenig covers are validated against the
+// |cover| = |matching| identity and edge coverage.
+
+#include "graph/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+using testing_util::IsValidMatching;
+using testing_util::IsValidVertexCover;
+using testing_util::RandomBipartite;
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  const BipartiteGraph graph(0, 0);
+  EXPECT_EQ(HopcroftKarpMatching(graph).size, 0);
+}
+
+TEST(HopcroftKarpTest, NoEdges) {
+  const BipartiteGraph graph(3, 4);
+  const Matching matching = HopcroftKarpMatching(graph);
+  EXPECT_EQ(matching.size, 0);
+  EXPECT_TRUE(IsValidMatching(graph, matching));
+}
+
+TEST(HopcroftKarpTest, SingleEdge) {
+  BipartiteGraph graph(2, 2);
+  graph.AddEdge(0, 1);
+  const Matching matching = HopcroftKarpMatching(graph);
+  EXPECT_EQ(matching.size, 1);
+  EXPECT_EQ(matching.left_to_right[0], 1);
+  EXPECT_EQ(matching.right_to_left[1], 0);
+}
+
+TEST(HopcroftKarpTest, PerfectMatchingOnCycle) {
+  // 4-cycle as bipartite graph: perfect matching exists.
+  BipartiteGraph graph(2, 2);
+  graph.AddEdge(0, 0);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(1, 1);
+  EXPECT_EQ(HopcroftKarpMatching(graph).size, 2);
+}
+
+TEST(HopcroftKarpTest, RequiresAugmentingPath) {
+  // Greedy matching 0-0 blocks the perfect matching unless augmented.
+  BipartiteGraph graph(2, 2);
+  graph.AddEdge(0, 0);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(0, 1);
+  const Matching matching = HopcroftKarpMatching(graph);
+  EXPECT_EQ(matching.size, 2);
+  EXPECT_TRUE(IsValidMatching(graph, matching));
+}
+
+TEST(HopcroftKarpTest, StarGraphMatchesOne) {
+  BipartiteGraph graph(5, 1);
+  for (int l = 0; l < 5; ++l) graph.AddEdge(l, 0);
+  EXPECT_EQ(HopcroftKarpMatching(graph).size, 1);
+}
+
+TEST(HopcroftKarpTest, CompleteBipartiteMatchesMinSide) {
+  BipartiteGraph graph(4, 7);
+  for (int l = 0; l < 4; ++l) {
+    for (int r = 0; r < 7; ++r) graph.AddEdge(l, r);
+  }
+  EXPECT_EQ(HopcroftKarpMatching(graph).size, 4);
+}
+
+TEST(KuhnTest, AgreesOnHandInstance) {
+  BipartiteGraph graph(3, 3);
+  graph.AddEdge(0, 0);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 0);
+  graph.AddEdge(2, 2);
+  const Matching kuhn = KuhnMatching(graph);
+  EXPECT_EQ(kuhn.size, 3);
+  EXPECT_TRUE(IsValidMatching(graph, kuhn));
+}
+
+// Property: the two independent algorithms report the same maximum size
+// and both produce structurally valid matchings.
+TEST(MatchingPropertyTest, HopcroftKarpAgreesWithKuhn) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int nl = 1 + static_cast<int>(rng.UniformInt(12));
+    const int nr = 1 + static_cast<int>(rng.UniformInt(12));
+    const double p = rng.UniformDoubleInRange(0.05, 0.9);
+    const BipartiteGraph graph = RandomBipartite(rng, nl, nr, p);
+    const Matching hk = HopcroftKarpMatching(graph);
+    const Matching kuhn = KuhnMatching(graph);
+    EXPECT_TRUE(IsValidMatching(graph, hk)) << "trial " << trial;
+    EXPECT_TRUE(IsValidMatching(graph, kuhn)) << "trial " << trial;
+    EXPECT_EQ(hk.size, kuhn.size) << "trial " << trial;
+  }
+}
+
+TEST(KonigTest, CoverSizeEqualsMatchingSize) {
+  Rng rng(99);
+  for (int trial = 0; trial < 120; ++trial) {
+    const int nl = 1 + static_cast<int>(rng.UniformInt(12));
+    const int nr = 1 + static_cast<int>(rng.UniformInt(12));
+    const BipartiteGraph graph =
+        RandomBipartite(rng, nl, nr, rng.UniformDoubleInRange(0.05, 0.9));
+    const Matching matching = HopcroftKarpMatching(graph);
+    const VertexCover cover = KonigVertexCover(graph, matching);
+    EXPECT_EQ(cover.size, matching.size) << "Koenig's theorem, trial "
+                                         << trial;
+    EXPECT_TRUE(IsValidVertexCover(graph, cover.left, cover.right))
+        << "trial " << trial;
+  }
+}
+
+TEST(KonigTest, EmptyGraphCoverIsEmpty) {
+  const BipartiteGraph graph(3, 3);
+  const Matching matching = HopcroftKarpMatching(graph);
+  const VertexCover cover = KonigVertexCover(graph, matching);
+  EXPECT_EQ(cover.size, 0);
+}
+
+TEST(KonigTest, SingleEdgeCoveredByOneVertex) {
+  BipartiteGraph graph(1, 1);
+  graph.AddEdge(0, 0);
+  const VertexCover cover =
+      KonigVertexCover(graph, HopcroftKarpMatching(graph));
+  EXPECT_EQ(cover.size, 1);
+  EXPECT_TRUE(IsValidVertexCover(graph, cover.left, cover.right));
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,81 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+TEST(ConfusionMatrixTest, EmptyMatrix) {
+  const ConfusionMatrix matrix;
+  EXPECT_EQ(matrix.Total(), 0u);
+  EXPECT_DOUBLE_EQ(matrix.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectClassifier) {
+  const ConfusionMatrix matrix{.true_positive = 10, .true_negative = 20};
+  EXPECT_DOUBLE_EQ(matrix.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.F1(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 1.0);
+  EXPECT_EQ(matrix.Errors(), 0u);
+}
+
+TEST(ConfusionMatrixTest, KnownValues) {
+  const ConfusionMatrix matrix{.true_positive = 6,
+                               .false_positive = 2,
+                               .true_negative = 10,
+                               .false_negative = 2};
+  EXPECT_DOUBLE_EQ(matrix.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(matrix.Recall(), 0.75);
+  EXPECT_DOUBLE_EQ(matrix.F1(), 0.75);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 0.8);
+  EXPECT_EQ(matrix.Errors(), 4u);
+}
+
+TEST(ConfusionMatrixTest, AllNegativePredictions) {
+  const ConfusionMatrix matrix{.true_negative = 5, .false_negative = 5};
+  EXPECT_DOUBLE_EQ(matrix.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 0.5);
+}
+
+TEST(EvaluateClassifierTest, CountsEveryCell) {
+  LabeledPointSet set;
+  set.Add(Point{0}, 0);  // predicted 0 -> tn
+  set.Add(Point{1}, 1);  // predicted 0 -> fn
+  set.Add(Point{2}, 0);  // predicted 1 -> fp
+  set.Add(Point{3}, 1);  // predicted 1 -> tp
+  const auto h = MonotoneClassifier::Threshold1D(1.5);
+  const ConfusionMatrix matrix = EvaluateClassifier(h, set);
+  EXPECT_EQ(matrix.true_negative, 1u);
+  EXPECT_EQ(matrix.false_negative, 1u);
+  EXPECT_EQ(matrix.false_positive, 1u);
+  EXPECT_EQ(matrix.true_positive, 1u);
+  EXPECT_EQ(matrix.Errors(), CountErrors(h, set));
+}
+
+TEST(EvaluateClassifierTest, ErrorsAgreeWithCountErrors) {
+  LabeledPointSet set;
+  for (int i = 0; i < 20; ++i) {
+    set.Add(Point{static_cast<double>(i)}, i % 3 == 0 ? 1 : 0);
+  }
+  const auto h = MonotoneClassifier::Threshold1D(9.5);
+  EXPECT_EQ(EvaluateClassifier(h, set).Errors(), CountErrors(h, set));
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  const ConfusionMatrix matrix{.true_positive = 3, .false_positive = 1};
+  const std::string text = matrix.ToString();
+  EXPECT_NE(text.find("tp=3"), std::string::npos);
+  EXPECT_NE(text.find("fp=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace monoclass

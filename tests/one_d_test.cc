@@ -1,0 +1,222 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the Section 3 recursive 1D active algorithm: exactness on
+// small inputs (probe-all base case), the (1+eps) guarantee on noisy
+// inputs across repeated randomized trials, Sigma structure (Lemma 13),
+// probe accounting, and determinism.
+
+#include "active/one_d.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "active/oracle.h"
+#include "core/classifier.h"
+#include "passive/isotonic_1d.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+// Runs the 1D algorithm on a labeled 1D set using its natural coordinates.
+OneDSolveResult RunOn(const LabeledPointSet& set, InMemoryOracle& oracle,
+                      const ActiveSamplingParams& params, uint64_t seed) {
+  std::vector<size_t> indices(set.size());
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  std::vector<double> coordinates(set.size());
+  for (size_t i = 0; i < set.size(); ++i) coordinates[i] = set.point(i)[0];
+  Rng rng(seed);
+  return SolveActive1D(indices, coordinates, oracle, params, rng);
+}
+
+// Exact k* of a 1D labeled set via the exact threshold solver.
+size_t Exact1DOptimum(const LabeledPointSet& set) {
+  std::vector<Weighted1DPoint> points(set.size());
+  for (size_t i = 0; i < set.size(); ++i) {
+    points[i] = Weighted1DPoint{set.point(i)[0], set.label(i), 1.0};
+  }
+  return static_cast<size_t>(
+      Solve1DWeighted(points).optimal_weighted_error + 0.5);
+}
+
+size_t ErrorOfTau(const LabeledPointSet& set, double tau) {
+  return CountErrors(MonotoneClassifier::Threshold1D(tau), set);
+}
+
+// Noisy threshold instance: labels 1 above a planted cut, then `flips`
+// random flips.
+LabeledPointSet NoisyThreshold(size_t n, size_t cut, size_t flips,
+                               uint64_t seed) {
+  Rng rng(seed);
+  LabeledPointSet set;
+  std::vector<Label> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = i >= cut ? 1 : 0;
+  for (const size_t i : rng.SampleWithoutReplacement(n, flips)) {
+    labels[i] = static_cast<Label>(1 - labels[i]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    set.Add(Point{static_cast<double>(i)}, labels[i]);
+  }
+  return set;
+}
+
+TEST(OneDActiveTest, TinyInputIsSolvedExactly) {
+  // n <= small_set_threshold: the algorithm probes everything, so the
+  // returned tau is exactly optimal.
+  const LabeledPointSet set = NoisyThreshold(7, 3, 1, 11);
+  InMemoryOracle oracle(set);
+  const auto result = RunOn(set, oracle,
+                            ActiveSamplingParams::Paper(0.5, 0.01), 1);
+  EXPECT_EQ(oracle.NumProbes(), 7u);
+  EXPECT_EQ(ErrorOfTau(set, result.tau), Exact1DOptimum(set));
+}
+
+TEST(OneDActiveTest, PaperConstantsFallBackToFullProbeAndStayExact) {
+  // With the proof constants the Lemma 5 sample size exceeds any
+  // laptop-sized level, so every level full-probes: the answer is exact.
+  const LabeledPointSet set = NoisyThreshold(500, 200, 25, 13);
+  InMemoryOracle oracle(set);
+  const auto result = RunOn(set, oracle,
+                            ActiveSamplingParams::Paper(0.5, 0.01), 2);
+  EXPECT_EQ(ErrorOfTau(set, result.tau), Exact1DOptimum(set));
+  EXPECT_EQ(oracle.NumProbes(), set.size());
+}
+
+TEST(OneDActiveTest, CleanInputRecoversZeroError) {
+  const LabeledPointSet set = NoisyThreshold(4096, 1700, 0, 17);
+  size_t successes = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    InMemoryOracle oracle(set);
+    const auto result = RunOn(
+        set, oracle, ActiveSamplingParams::Practical(0.5, 0.05), seed);
+    if (ErrorOfTau(set, result.tau) == 0) ++successes;
+  }
+  // k* = 0: Theorem 2 promises exact recovery with high probability.
+  EXPECT_GE(successes, 9u);
+}
+
+TEST(OneDActiveTest, ApproximationGuaranteeOnNoisyInput) {
+  const size_t kN = 4096;
+  const size_t kFlips = 200;
+  const LabeledPointSet set = NoisyThreshold(kN, 2000, kFlips, 19);
+  const size_t optimum = Exact1DOptimum(set);
+  ASSERT_GT(optimum, 0u);
+  const double epsilon = 0.5;
+  size_t within = 0;
+  const int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    InMemoryOracle oracle(set);
+    const auto result =
+        RunOn(set, oracle, ActiveSamplingParams::Practical(epsilon, 0.05),
+              100 + static_cast<uint64_t>(trial));
+    const size_t error = ErrorOfTau(set, result.tau);
+    if (static_cast<double>(error) <=
+        (1.0 + epsilon) * static_cast<double>(optimum)) {
+      ++within;
+    }
+  }
+  EXPECT_GE(within, 18) << "(1+eps)k* should hold in almost every trial";
+}
+
+TEST(OneDActiveTest, ProbesSublinearOnLargeInput) {
+  const LabeledPointSet set = NoisyThreshold(1 << 15, 9000, 300, 23);
+  InMemoryOracle oracle(set);
+  RunOn(set, oracle, ActiveSamplingParams::Practical(1.0, 0.1), 5);
+  EXPECT_LT(oracle.NumProbes(), set.size() / 2)
+      << "the whole point of the algorithm";
+}
+
+TEST(OneDActiveTest, SigmaErrorApproximatesTrueError) {
+  // Lemma 13 + eq. (8): w-err_Sigma(h^tau) tracks err_P(h^tau) within
+  // eps|P|/64 under paper constants; Practical constants keep the same
+  // shape with a looser constant, checked here at eps|P|/4.
+  const size_t kN = 8192;
+  const LabeledPointSet set = NoisyThreshold(kN, 3000, 400, 29);
+  InMemoryOracle oracle(set);
+  const double epsilon = 0.5;
+  const auto result = RunOn(
+      set, oracle, ActiveSamplingParams::Practical(epsilon, 0.05), 7);
+  std::vector<Weighted1DPoint> sigma(result.sigma.size());
+  for (size_t i = 0; i < result.sigma.size(); ++i) {
+    sigma[i] = Weighted1DPoint{result.sigma[i].coordinate,
+                               result.sigma[i].label,
+                               result.sigma[i].weight};
+  }
+  for (const double tau : {-1.0, 1000.0, 3000.0, 5000.0, 8191.0}) {
+    double sigma_err = 0.0;
+    for (const auto& entry : sigma) {
+      const bool predicted = entry.value > tau;
+      if (predicted != (entry.label == 1)) sigma_err += entry.weight;
+    }
+    const double true_err = static_cast<double>(ErrorOfTau(set, tau));
+    EXPECT_NEAR(sigma_err, true_err,
+                epsilon * static_cast<double>(kN) / 4.0)
+        << "tau = " << tau;
+  }
+}
+
+TEST(OneDActiveTest, SigmaWeightsCoverTheLevels) {
+  // Every level contributes |level| total weight (samples carry
+  // |level|/|sample| each), so Sigma's total weight is at least |P| and
+  // at most |P| * levels.
+  const LabeledPointSet set = NoisyThreshold(4096, 1500, 100, 31);
+  InMemoryOracle oracle(set);
+  const auto result = RunOn(
+      set, oracle, ActiveSamplingParams::Practical(0.5, 0.05), 9);
+  double total = 0.0;
+  for (const auto& entry : result.sigma) total += entry.weight;
+  EXPECT_GE(total, static_cast<double>(set.size()) * 0.99);
+  EXPECT_LE(total, static_cast<double>(set.size()) *
+                       static_cast<double>(result.levels));
+}
+
+TEST(OneDActiveTest, DeterministicUnderSeed) {
+  const LabeledPointSet set = NoisyThreshold(2048, 700, 60, 37);
+  InMemoryOracle oracle_a(set);
+  InMemoryOracle oracle_b(set);
+  const auto params = ActiveSamplingParams::Practical(0.5, 0.05);
+  const auto a = RunOn(set, oracle_a, params, 42);
+  const auto b = RunOn(set, oracle_b, params, 42);
+  EXPECT_EQ(a.tau, b.tau);
+  EXPECT_EQ(a.sigma.size(), b.sigma.size());
+  EXPECT_EQ(oracle_a.NumProbes(), oracle_b.NumProbes());
+}
+
+TEST(OneDActiveTest, LevelsAreLogarithmicallyBounded) {
+  const LabeledPointSet set = NoisyThreshold(1 << 14, 5000, 100, 41);
+  InMemoryOracle oracle(set);
+  const auto result = RunOn(
+      set, oracle, ActiveSamplingParams::Practical(1.0, 0.1), 11);
+  // Lemma 10: levels <= log_{8/5}(n) + 1 ~ 22 for n = 16384.
+  EXPECT_LE(result.levels, 22u);
+}
+
+TEST(OneDActiveTest, AllLabelsSameIsExactWithZeroError) {
+  LabeledPointSet set;
+  for (size_t i = 0; i < 2000; ++i) {
+    set.Add(Point{static_cast<double>(i)}, 1);
+  }
+  InMemoryOracle oracle(set);
+  const auto result = RunOn(
+      set, oracle, ActiveSamplingParams::Practical(0.5, 0.05), 13);
+  EXPECT_EQ(ErrorOfTau(set, result.tau), 0u);
+}
+
+TEST(OneDActiveTest, DuplicateCoordinatesHandled) {
+  Rng data_rng(43);
+  LabeledPointSet set;
+  for (size_t i = 0; i < 3000; ++i) {
+    const double value = static_cast<double>(data_rng.UniformInt(50));
+    set.Add(Point{value}, value > 25 ? 1 : 0);
+  }
+  InMemoryOracle oracle(set);
+  const auto result = RunOn(
+      set, oracle, ActiveSamplingParams::Practical(0.5, 0.05), 15);
+  EXPECT_EQ(ErrorOfTau(set, result.tau), 0u);
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,120 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "active/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+LabeledPointSet MakeSet() {
+  LabeledPointSet set;
+  set.Add(Point{1}, 1);
+  set.Add(Point{2}, 0);
+  set.Add(Point{3}, 1);
+  return set;
+}
+
+TEST(InMemoryOracleTest, RevealsTrueLabels) {
+  const LabeledPointSet set = MakeSet();
+  InMemoryOracle oracle(set);
+  EXPECT_EQ(oracle.Probe(0), 1);
+  EXPECT_EQ(oracle.Probe(1), 0);
+  EXPECT_EQ(oracle.Probe(2), 1);
+}
+
+TEST(InMemoryOracleTest, CountsDistinctProbes) {
+  const LabeledPointSet set = MakeSet();
+  InMemoryOracle oracle(set);
+  EXPECT_EQ(oracle.NumProbes(), 0u);
+  oracle.Probe(0);
+  oracle.Probe(0);
+  oracle.Probe(0);
+  oracle.Probe(2);
+  EXPECT_EQ(oracle.NumProbes(), 2u);
+  EXPECT_EQ(oracle.NumProbeCalls(), 4u);
+}
+
+TEST(InMemoryOracleTest, TracksProbedSet) {
+  const LabeledPointSet set = MakeSet();
+  InMemoryOracle oracle(set);
+  oracle.Probe(1);
+  EXPECT_TRUE(oracle.WasProbed(1));
+  EXPECT_FALSE(oracle.WasProbed(0));
+  EXPECT_FALSE(oracle.WasProbed(2));
+}
+
+TEST(InMemoryOracleTest, ResetForgetsEverything) {
+  const LabeledPointSet set = MakeSet();
+  InMemoryOracle oracle(set);
+  oracle.Probe(0);
+  oracle.Reset();
+  EXPECT_EQ(oracle.NumProbes(), 0u);
+  EXPECT_EQ(oracle.NumProbeCalls(), 0u);
+  EXPECT_FALSE(oracle.WasProbed(0));
+}
+
+TEST(InMemoryOracleTest, NumPointsMatchesSet) {
+  const LabeledPointSet set = MakeSet();
+  InMemoryOracle oracle(set);
+  EXPECT_EQ(oracle.NumPoints(), 3u);
+}
+
+TEST(InMemoryOracleTest, OutOfRangeProbeAborts) {
+  const LabeledPointSet set = MakeSet();
+  InMemoryOracle oracle(set);
+  EXPECT_DEATH(oracle.Probe(3), "");
+}
+
+TEST(NoisyOracleTest, ZeroNoiseIsTruthful) {
+  const LabeledPointSet set = MakeSet();
+  NoisyOracle oracle(set, 0.0, 1);
+  for (size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(oracle.Probe(i), set.label(i));
+  }
+  EXPECT_EQ(oracle.NumLies(), 0u);
+}
+
+TEST(NoisyOracleTest, FullNoiseAlwaysLies) {
+  const LabeledPointSet set = MakeSet();
+  NoisyOracle oracle(set, 1.0, 1);
+  for (size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(oracle.Probe(i), 1 - set.label(i));
+  }
+  EXPECT_EQ(oracle.NumLies(), set.size());
+}
+
+TEST(NoisyOracleTest, AnswersArePersistent) {
+  // A repeated probe must return the same (possibly flipped) answer.
+  LabeledPointSet set;
+  for (int i = 0; i < 200; ++i) set.Add(Point{static_cast<double>(i)}, 1);
+  NoisyOracle oracle(set, 0.5, 7);
+  std::vector<Label> first(200);
+  for (size_t i = 0; i < 200; ++i) first[i] = oracle.Probe(i);
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(oracle.Probe(i), first[i]) << i;
+  }
+  EXPECT_EQ(oracle.NumProbes(), 200u);
+  EXPECT_EQ(oracle.NumProbeCalls(), 400u);
+}
+
+TEST(NoisyOracleTest, LieRateMatchesProbability) {
+  LabeledPointSet set;
+  for (int i = 0; i < 5000; ++i) set.Add(Point{static_cast<double>(i)}, 0);
+  NoisyOracle oracle(set, 0.2, 13);
+  for (size_t i = 0; i < 5000; ++i) oracle.Probe(i);
+  EXPECT_NEAR(static_cast<double>(oracle.NumLies()) / 5000.0, 0.2, 0.03);
+}
+
+TEST(NoisyOracleTest, DeterministicUnderSeed) {
+  const LabeledPointSet set = MakeSet();
+  NoisyOracle a(set, 0.5, 99);
+  NoisyOracle b(set, 0.5, 99);
+  for (size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(a.Probe(i), b.Probe(i));
+  }
+}
+
+}  // namespace
+}  // namespace monoclass

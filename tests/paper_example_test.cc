@@ -1,0 +1,183 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Experiment E1 as tests: every quantitative fact the paper states about
+// the worked example of Figures 1 and 2 must hold on our realization of
+// the coordinates:
+//   * dominance width w = 6, witnessed by {p10, p11, p12, p16, p13, p14};
+//   * the stated 6-chain decomposition is valid;
+//   * optimal unweighted error k* = 3, achieved by the classifier that
+//     flips exactly {p1, p11, p15};
+//   * contending points are exactly {p1..p5, p9, p11, p13, p14, p15};
+//   * optimal weighted error 104, achieved by mapping {p10, p12, p16} to 1;
+//   * the minimum cut consists of exactly the five sink-side edges of
+//     p1, p4, p9, p13, p14.
+
+#include "core/paper_example.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/antichain.h"
+#include "core/chain_decomposition.h"
+#include "core/classifier.h"
+#include "passive/brute_force.h"
+#include "passive/contending.h"
+#include "passive/flow_solver.h"
+
+namespace monoclass {
+namespace {
+
+// Paper index p_k -> our 0-based index.
+constexpr size_t P(size_t k) { return k - 1; }
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  const LabeledPointSet labeled_ = PaperFigure1Points();
+  const WeightedPointSet weighted_ = PaperFigure1WeightedPoints();
+};
+
+TEST_F(PaperExampleTest, SixteenPointsInTwoD) {
+  EXPECT_EQ(labeled_.size(), 16u);
+  EXPECT_EQ(labeled_.dimension(), 2u);
+}
+
+TEST_F(PaperExampleTest, LabelsMatchFigure1) {
+  // Black (label 1): p1, p4, p9, p10, p12, p13, p14, p16.
+  for (const size_t k : {1u, 4u, 9u, 10u, 12u, 13u, 14u, 16u}) {
+    EXPECT_EQ(labeled_.label(P(k)), 1) << "p" << k;
+  }
+  for (const size_t k : {2u, 3u, 5u, 6u, 7u, 8u, 11u, 15u}) {
+    EXPECT_EQ(labeled_.label(P(k)), 0) << "p" << k;
+  }
+}
+
+TEST_F(PaperExampleTest, DominanceWidthIsSix) {
+  EXPECT_EQ(DominanceWidth(labeled_.points()), 6u);
+}
+
+TEST_F(PaperExampleTest, PaperAntichainIsAMaximumAntichain) {
+  const std::vector<size_t> stated = {P(10), P(11), P(12), P(16), P(13),
+                                      P(14)};
+  EXPECT_TRUE(IsAntichain(labeled_.points(), stated));
+  EXPECT_EQ(stated.size(), DominanceWidth(labeled_.points()));
+}
+
+TEST_F(PaperExampleTest, PaperChainDecompositionIsValid) {
+  ChainDecomposition stated;
+  stated.chains = {
+      {P(1), P(2), P(3), P(4), P(10)},
+      {P(11)},
+      {P(5), P(9), P(12)},
+      {P(16)},
+      {P(13)},
+      {P(6), P(7), P(8), P(14), P(15)},
+  };
+  EXPECT_TRUE(ValidateChainDecomposition(labeled_.points(), stated));
+  EXPECT_EQ(stated.NumChains(), 6u);
+}
+
+TEST_F(PaperExampleTest, MinimumDecompositionHasSixChains) {
+  const auto decomposition = MinimumChainDecomposition(labeled_.points());
+  EXPECT_EQ(decomposition.NumChains(), 6u);
+  EXPECT_TRUE(ValidateChainDecomposition(labeled_.points(), decomposition));
+}
+
+TEST_F(PaperExampleTest, OptimalUnweightedErrorIsThree) {
+  EXPECT_EQ(OptimalErrorBruteForce(labeled_), 3u);
+  EXPECT_EQ(OptimalError(labeled_), 3u);
+}
+
+TEST_F(PaperExampleTest, StatedOptimalClassifierHasErrorThree) {
+  // h: all black points -> 1 except p1; white p11, p15 -> 1.
+  std::vector<Label> values(16, 0);
+  for (const size_t k : {4u, 9u, 10u, 12u, 13u, 14u, 16u, 11u, 15u}) {
+    values[P(k)] = 1;
+  }
+  const auto h =
+      MonotoneClassifier::FromAssignment(labeled_.points(), values);
+  ASSERT_TRUE(h.has_value()) << "the paper's h must be monotone";
+  EXPECT_EQ(CountErrors(*h, labeled_), 3u);
+}
+
+TEST_F(PaperExampleTest, ContendingPointsMatchFigure2a) {
+  const auto partition =
+      ComputeContending(labeled_.points(), labeled_.labels());
+  const std::vector<size_t> expected = {P(1), P(2), P(3),  P(4),  P(5),
+                                        P(9), P(11), P(13), P(14), P(15)};
+  std::vector<size_t> sorted = expected;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(partition.contending, sorted);
+}
+
+TEST_F(PaperExampleTest, StatedWeightedOptimumIs104) {
+  // h': p10, p12, p16 -> 1, everything else -> 0; w-err = 104.
+  std::vector<Label> values(16, 0);
+  values[P(10)] = 1;
+  values[P(12)] = 1;
+  values[P(16)] = 1;
+  const auto h =
+      MonotoneClassifier::FromAssignment(labeled_.points(), values);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_DOUBLE_EQ(WeightedError(*h, weighted_), 104.0);
+}
+
+TEST_F(PaperExampleTest, UnweightedOptimalHasWeightedError220) {
+  // The paper: the Figure 1(a) optimum (errors p1, p11, p15) costs
+  // 100 + 60 + 60 = 220 under the Figure 1(b) weights.
+  std::vector<Label> values(16, 0);
+  for (const size_t k : {4u, 9u, 10u, 12u, 13u, 14u, 16u, 11u, 15u}) {
+    values[P(k)] = 1;
+  }
+  const auto h =
+      MonotoneClassifier::FromAssignment(labeled_.points(), values);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_DOUBLE_EQ(WeightedError(*h, weighted_), 220.0);
+}
+
+TEST_F(PaperExampleTest, FlowSolverFindsWeightedOptimum104) {
+  const PassiveSolveResult result = SolvePassiveWeighted(weighted_);
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 104.0);
+  EXPECT_DOUBLE_EQ(result.flow_value, 104.0);
+  EXPECT_EQ(result.num_contending, 10u);
+}
+
+TEST_F(PaperExampleTest, BruteForceConfirmsWeightedOptimum104) {
+  EXPECT_DOUBLE_EQ(SolvePassiveBruteForce(weighted_).optimal_weighted_error,
+                   104.0);
+}
+
+TEST_F(PaperExampleTest, OptimalCutClassifierMapsContendingToZero) {
+  // Figure 2(b): the optimal cut takes the five sink edges of p1, p4, p9,
+  // p13, p14, i.e. h*_cut maps every contending point to 0.
+  const PassiveSolveResult result = SolvePassiveWeighted(weighted_);
+  for (const size_t k : {1u, 2u, 3u, 4u, 5u, 9u, 11u, 13u, 14u, 15u}) {
+    EXPECT_EQ(result.assignment[P(k)], 0) << "p" << k;
+  }
+  // Non-contending points keep their labels.
+  for (const size_t k : {6u, 7u, 8u}) {
+    EXPECT_EQ(result.assignment[P(k)], 0) << "p" << k;
+  }
+  for (const size_t k : {10u, 12u, 16u}) {
+    EXPECT_EQ(result.assignment[P(k)], 1) << "p" << k;
+  }
+}
+
+TEST_F(PaperExampleTest, CrossChainDominancesFromFigure) {
+  const PointSet& points = labeled_.points();
+  // p11 >= p4; p15 >= p1, p9, p13, p14; p5 >= p1.
+  EXPECT_TRUE(DominatesEq(points[P(11)], points[P(4)]));
+  EXPECT_TRUE(DominatesEq(points[P(15)], points[P(1)]));
+  EXPECT_TRUE(DominatesEq(points[P(15)], points[P(9)]));
+  EXPECT_TRUE(DominatesEq(points[P(15)], points[P(13)]));
+  EXPECT_TRUE(DominatesEq(points[P(15)], points[P(14)]));
+  EXPECT_TRUE(DominatesEq(points[P(5)], points[P(1)]));
+  // p15 must not dominate the non-contending maxima p10, p12, p16.
+  EXPECT_FALSE(DominatesEq(points[P(15)], points[P(10)]));
+  EXPECT_FALSE(DominatesEq(points[P(15)], points[P(12)]));
+  EXPECT_FALSE(DominatesEq(points[P(15)], points[P(16)]));
+}
+
+}  // namespace
+}  // namespace monoclass

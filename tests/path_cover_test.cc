@@ -1,0 +1,133 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the DAG minimum path cover (the Lemma 6 engine).
+
+#include "graph/path_cover.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+// Validates the partition and edge-following properties of a path cover.
+void ExpectValidPathCover(const DagAdjacency& dag,
+                          const std::vector<std::vector<int>>& paths) {
+  std::vector<int> seen(dag.size(), 0);
+  for (const auto& path : paths) {
+    ASSERT_FALSE(path.empty());
+    for (const int v : path) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(static_cast<size_t>(v), dag.size());
+      ++seen[static_cast<size_t>(v)];
+    }
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto& out = dag[static_cast<size_t>(path[i])];
+      EXPECT_NE(std::find(out.begin(), out.end(), path[i + 1]), out.end())
+          << "consecutive path vertices must be a DAG edge";
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(PathCoverTest, EmptyDag) {
+  EXPECT_TRUE(MinimumPathCover({}).empty());
+}
+
+TEST(PathCoverTest, SingletonVertex) {
+  const auto paths = MinimumPathCover(DagAdjacency(1));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], std::vector<int>{0});
+}
+
+TEST(PathCoverTest, IsolatedVerticesEachTheirOwnPath) {
+  const DagAdjacency dag(5);
+  const auto paths = MinimumPathCover(dag);
+  EXPECT_EQ(paths.size(), 5u);
+  ExpectValidPathCover(dag, paths);
+}
+
+TEST(PathCoverTest, SingleChainIsOnePath) {
+  // Transitively closed chain 0 -> 1 -> 2 -> 3.
+  DagAdjacency dag(4);
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) dag[static_cast<size_t>(u)].push_back(v);
+  }
+  const auto paths = MinimumPathCover(dag);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PathCoverTest, TwoParallelChains) {
+  // Chains {0, 1} and {2, 3}, no cross edges.
+  DagAdjacency dag(4);
+  dag[0].push_back(1);
+  dag[2].push_back(3);
+  const auto paths = MinimumPathCover(dag);
+  EXPECT_EQ(paths.size(), 2u);
+  ExpectValidPathCover(dag, paths);
+}
+
+TEST(PathCoverTest, DiamondNeedsTwoPaths) {
+  // 0 -> {1, 2} -> 3 with transitive edge 0 -> 3: min cover is 2 paths
+  // (1 and 2 are incomparable).
+  DagAdjacency dag(4);
+  dag[0] = {1, 2, 3};
+  dag[1] = {3};
+  dag[2] = {3};
+  const auto paths = MinimumPathCover(dag);
+  EXPECT_EQ(paths.size(), 2u);
+  ExpectValidPathCover(dag, paths);
+}
+
+TEST(PathCoverTest, AntichainOfKNeedsKPaths) {
+  const DagAdjacency dag(7);  // no edges: 7 mutually incomparable vertices
+  EXPECT_EQ(MinimumPathCover(dag).size(), 7u);
+}
+
+TEST(PathCoverTest, CoverSizeIsVerticesMinusMatching) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random transitively-closed DAG: random linear order, keep each
+    // forward pair with probability p, then transitively close.
+    const int n = 2 + static_cast<int>(rng.UniformInt(10));
+    std::vector<std::vector<bool>> reach(
+        static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n)));
+    const double p = rng.UniformDoubleInRange(0.1, 0.6);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(p)) reach[static_cast<size_t>(u)][static_cast<size_t>(v)] = true;
+      }
+    }
+    for (int k = 0; k < n; ++k) {
+      for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+          if (reach[static_cast<size_t>(u)][static_cast<size_t>(k)] &&
+              reach[static_cast<size_t>(k)][static_cast<size_t>(v)]) {
+            reach[static_cast<size_t>(u)][static_cast<size_t>(v)] = true;
+          }
+        }
+      }
+    }
+    DagAdjacency dag(static_cast<size_t>(n));
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (reach[static_cast<size_t>(u)][static_cast<size_t>(v)]) {
+          dag[static_cast<size_t>(u)].push_back(v);
+        }
+      }
+    }
+    const PathCoverResult result = MinimumPathCoverWithMatching(dag);
+    ExpectValidPathCover(dag, result.paths);
+    EXPECT_EQ(result.paths.size(),
+              static_cast<size_t>(n - result.matching.size));
+  }
+}
+
+}  // namespace
+}  // namespace monoclass

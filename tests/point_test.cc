@@ -1,0 +1,77 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "core/point.h"
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+TEST(PointTest, ConstructionAndAccess) {
+  const Point p{1.0, 2.5, -3.0};
+  EXPECT_EQ(p.dimension(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 2.5);
+  EXPECT_DOUBLE_EQ(p[2], -3.0);
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ((Point{1, 2}), (Point{1, 2}));
+  EXPECT_NE((Point{1, 2}), (Point{1, 3}));
+  EXPECT_NE((Point{1, 2}), (Point{2, 1}));
+}
+
+TEST(PointTest, ToString) {
+  EXPECT_EQ((Point{1, 2}).ToString(), "(1, 2)");
+  EXPECT_EQ((Point{-0.5}).ToString(), "(-0.5)");
+}
+
+TEST(DominanceTest, ReflexiveOnEqualPoints) {
+  const Point p{3, 4};
+  EXPECT_TRUE(DominatesEq(p, p));
+  EXPECT_FALSE(StrictlyDominates(p, p));
+}
+
+TEST(DominanceTest, StrictDominanceInAllCoordinates) {
+  EXPECT_TRUE(DominatesEq(Point{2, 3}, Point{1, 2}));
+  EXPECT_TRUE(StrictlyDominates(Point{2, 3}, Point{1, 2}));
+  EXPECT_FALSE(DominatesEq(Point{1, 2}, Point{2, 3}));
+}
+
+TEST(DominanceTest, DominanceWithTiesOnSomeCoordinates) {
+  // The paper: p != q implies strict inequality on at least one dimension,
+  // and p >= q still holds with ties elsewhere.
+  EXPECT_TRUE(StrictlyDominates(Point{2, 2}, Point{2, 1}));
+  EXPECT_TRUE(StrictlyDominates(Point{2, 2}, Point{1, 2}));
+}
+
+TEST(DominanceTest, IncomparablePoints) {
+  EXPECT_TRUE(Incomparable(Point{1, 3}, Point{2, 1}));
+  EXPECT_FALSE(Incomparable(Point{1, 1}, Point{2, 2}));
+  EXPECT_FALSE(Incomparable(Point{1, 1}, Point{1, 1}));
+}
+
+TEST(DominanceTest, OneDimensionIsTotalOrder) {
+  EXPECT_TRUE(DominatesEq(Point{5}, Point{3}));
+  EXPECT_FALSE(Incomparable(Point{5}, Point{3}));
+  EXPECT_FALSE(Incomparable(Point{3}, Point{3}));
+}
+
+TEST(DominanceTest, HighDimensional) {
+  const Point low{0, 0, 0, 0, 0, 0};
+  const Point high{1, 1, 1, 1, 1, 1};
+  Point mixed{1, 1, 1, 0, 1, 1};
+  EXPECT_TRUE(DominatesEq(high, low));
+  EXPECT_TRUE(DominatesEq(high, mixed));
+  EXPECT_TRUE(DominatesEq(mixed, low));
+  EXPECT_FALSE(DominatesEq(mixed, high));
+}
+
+TEST(DominanceTest, NegativeCoordinates) {
+  EXPECT_TRUE(DominatesEq(Point{-1, -2}, Point{-3, -4}));
+  EXPECT_FALSE(DominatesEq(Point{-3, -4}, Point{-1, -2}));
+}
+
+}  // namespace
+}  // namespace monoclass

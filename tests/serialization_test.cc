@@ -1,0 +1,196 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for dataset / classifier (de)serialization: round trips
+// (including exotic doubles and -infinity generators), format errors,
+// comments, and file wrappers.
+
+#include "io/serialization.h"
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+TEST(LabeledCsvTest, RoundTrip) {
+  Rng rng(1);
+  const LabeledPointSet original =
+      testing_util::RandomLabeledSet(rng, 40, 3);
+  std::stringstream stream;
+  WriteLabeledCsv(original, stream);
+  const auto loaded = ReadLabeledCsv(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->labels(), original.labels());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->point(i), original.point(i)) << "point " << i;
+  }
+}
+
+TEST(LabeledCsvTest, ParsesCommentsAndBlanks) {
+  std::stringstream stream("# header\n\n1.5,2.5,1\n  \n0.5,0.5,0\n");
+  const auto loaded = ReadLabeledCsv(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(loaded->label(0), 1);
+  EXPECT_EQ(loaded->label(1), 0);
+}
+
+TEST(LabeledCsvTest, RejectsBadLabel) {
+  std::stringstream stream("1,2,7\n");
+  std::string error;
+  EXPECT_FALSE(ReadLabeledCsv(stream, &error).has_value());
+  EXPECT_NE(error.find("label"), std::string::npos);
+}
+
+TEST(LabeledCsvTest, RejectsBadCoordinate) {
+  std::stringstream stream("1,abc,1\n");
+  std::string error;
+  EXPECT_FALSE(ReadLabeledCsv(stream, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(LabeledCsvTest, RejectsInconsistentDimension) {
+  std::stringstream stream("1,2,1\n1,2,3,0\n");
+  std::string error;
+  EXPECT_FALSE(ReadLabeledCsv(stream, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(LabeledCsvTest, RejectsTooFewFields) {
+  std::stringstream stream("1\n");
+  EXPECT_FALSE(ReadLabeledCsv(stream).has_value());
+}
+
+TEST(WeightedCsvTest, RoundTrip) {
+  Rng rng(3);
+  const WeightedPointSet original =
+      testing_util::RandomWeightedSet(rng, 30, 2);
+  std::stringstream stream;
+  WriteWeightedCsv(original, stream);
+  const auto loaded = ReadWeightedCsv(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->point(i), original.point(i));
+    EXPECT_EQ(loaded->label(i), original.label(i));
+    EXPECT_DOUBLE_EQ(loaded->weight(i), original.weight(i));
+  }
+}
+
+TEST(WeightedCsvTest, RejectsNonPositiveWeight) {
+  std::stringstream zero("1,2,1,0\n");
+  EXPECT_FALSE(ReadWeightedCsv(zero).has_value());
+  std::stringstream negative("1,2,1,-3\n");
+  EXPECT_FALSE(ReadWeightedCsv(negative).has_value());
+}
+
+TEST(ClassifierSerializationTest, RoundTrip) {
+  const auto original = MonotoneClassifier::FromGenerators(
+      {Point{0.1234567890123456, 2}, Point{3, 0.5}}, 2);
+  std::stringstream stream;
+  WriteClassifier(original, stream);
+  const auto loaded = ReadClassifier(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dimension(), 2u);
+  ASSERT_EQ(loaded->generators().size(), 2u);
+  // Exact round trip (17 significant digits).
+  for (size_t g = 0; g < 2; ++g) {
+    EXPECT_EQ(loaded->generators()[g], original.generators()[g]);
+  }
+}
+
+TEST(ClassifierSerializationTest, AlwaysOneRoundTripsMinusInfinity) {
+  const auto original = MonotoneClassifier::AlwaysOne(3);
+  std::stringstream stream;
+  WriteClassifier(original, stream);
+  const auto loaded = ReadClassifier(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->IsAlwaysOne());
+}
+
+TEST(ClassifierSerializationTest, AlwaysZeroRoundTrips) {
+  const auto original = MonotoneClassifier::AlwaysZero(2);
+  std::stringstream stream;
+  WriteClassifier(original, stream);
+  const auto loaded = ReadClassifier(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->IsAlwaysZero());
+  EXPECT_EQ(loaded->dimension(), 2u);
+}
+
+TEST(ClassifierSerializationTest, RejectsMissingHeader) {
+  std::stringstream stream("dimension 2\n");
+  std::string error;
+  EXPECT_FALSE(ReadClassifier(stream, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(ClassifierSerializationTest, RejectsWrongGeneratorDimension) {
+  std::stringstream stream(
+      "monoclass-classifier v1\ndimension 2\ngenerator 1 2 3\n");
+  EXPECT_FALSE(ReadClassifier(stream).has_value());
+}
+
+TEST(ClassifierSerializationTest, RejectsGarbageLine) {
+  std::stringstream stream(
+      "monoclass-classifier v1\ndimension 2\nnot-a-generator 1 2\n");
+  EXPECT_FALSE(ReadClassifier(stream).has_value());
+}
+
+TEST(ClassifierSerializationTest, PredictionsSurviveRoundTrip) {
+  Rng rng(9);
+  std::vector<Point> generators;
+  for (int g = 0; g < 5; ++g) {
+    generators.push_back(Point{rng.UniformDouble(), rng.UniformDouble()});
+  }
+  const auto original =
+      MonotoneClassifier::FromGenerators(std::move(generators), 2);
+  std::stringstream stream;
+  WriteClassifier(original, stream);
+  const auto loaded = ReadClassifier(stream);
+  ASSERT_TRUE(loaded.has_value());
+  for (int check = 0; check < 200; ++check) {
+    const Point x{rng.UniformDoubleInRange(-0.2, 1.2),
+                  rng.UniformDoubleInRange(-0.2, 1.2)};
+    EXPECT_EQ(loaded->Classify(x), original.Classify(x));
+  }
+}
+
+TEST(FileWrappersTest, RoundTripThroughDisk) {
+  Rng rng(11);
+  const LabeledPointSet set = testing_util::RandomLabeledSet(rng, 20, 2);
+  const std::string data_path = ::testing::TempDir() + "/monoclass_set.csv";
+  ASSERT_TRUE(WriteLabeledCsvFile(set, data_path));
+  const auto loaded = ReadLabeledCsvFile(data_path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), set.size());
+  std::remove(data_path.c_str());
+
+  const auto h = MonotoneClassifier::FromGenerators({Point{0.5, 0.5}}, 2);
+  const std::string model_path = ::testing::TempDir() + "/monoclass_model.txt";
+  ASSERT_TRUE(WriteClassifierFile(h, model_path));
+  const auto loaded_h = ReadClassifierFile(model_path);
+  ASSERT_TRUE(loaded_h.has_value());
+  EXPECT_EQ(loaded_h->generators().size(), 1u);
+  std::remove(model_path.c_str());
+}
+
+TEST(FileWrappersTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(
+      ReadLabeledCsvFile("/nonexistent/monoclass.csv", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(
+      ReadClassifierFile("/nonexistent/model.txt", &error).has_value());
+}
+
+}  // namespace
+}  // namespace monoclass

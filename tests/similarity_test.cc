@@ -1,0 +1,123 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "data/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+TEST(LevenshteinTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("hello", "hello"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+}
+
+TEST(LevenshteinTest, CompletelyDifferent) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("abc", "xyz"), 0.0);
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  // kitten -> sitting: distance 3, max length 7.
+  EXPECT_NEAR(NormalizedLevenshtein("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+  // one deletion over length 4.
+  EXPECT_NEAR(NormalizedLevenshtein("abcd", "abc"), 0.75, 1e-12);
+}
+
+TEST(LevenshteinTest, EmptyVersusNonEmpty) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", "abc"), 0.0);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("flaw", "lawn"),
+                   NormalizedLevenshtein("lawn", "flaw"));
+}
+
+TEST(QGramJaccardTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("abcdef", "abcdef"), 1.0);
+}
+
+TEST(QGramJaccardTest, Disjoint) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("aaaa", "bbbb"), 0.0);
+}
+
+TEST(QGramJaccardTest, ShortStringsUseWholeString) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("ab", "ab", 3), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("ab", "cd", 3), 0.0);
+}
+
+TEST(QGramJaccardTest, PartialOverlap) {
+  // "abcd" trigram multiset {abc, bcd}; "abce" -> {abc, bce}.
+  // Intersection 1, union 3.
+  EXPECT_NEAR(QGramJaccard("abcd", "abce"), 1.0 / 3.0, 1e-12);
+}
+
+TEST(JaroWinklerTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroWinkler("a", ""), 0.0);
+}
+
+TEST(JaroWinklerTest, ClassicExample) {
+  // martha / marhta: jaro = 0.944..., winkler with prefix 3 = 0.961...
+  EXPECT_NEAR(JaroWinkler("martha", "marhta"), 0.9611, 1e-3);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsScore) {
+  const double with_prefix = JaroWinkler("prefixab", "prefixcd");
+  const double without = JaroWinkler("abprefix", "cdprefix");
+  EXPECT_GT(with_prefix, without);
+}
+
+TEST(TokenJaccardTest, TokenSets) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "c d"), 0.0);
+  EXPECT_NEAR(TokenJaccard("a b c", "b c d"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+}
+
+TEST(TokenJaccardTest, DuplicateTokensAreASet) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a a a", "a"), 1.0);
+}
+
+TEST(SplitTokensTest, HandlesWhitespaceRuns) {
+  EXPECT_EQ(SplitTokens("  foo   bar  "),
+            (std::vector<std::string>{"foo", "bar"}));
+  EXPECT_TRUE(SplitTokens("   ").empty());
+}
+
+TEST(PrefixSimilarityTest, Basics) {
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("abcdef", "abcxyz"), 0.5);
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("a", "b"), 0.0);
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("", ""), 1.0);
+}
+
+TEST(SimilarityVectorTest, DimensionControl) {
+  EXPECT_EQ(SimilarityVector("a", "b", 1).size(), 1u);
+  EXPECT_EQ(SimilarityVector("a", "b", 5).size(), 5u);
+}
+
+TEST(SimilarityVectorTest, AllMetricsInUnitRange) {
+  const auto v = SimilarityVector("acme laptop pro x123",
+                                  "acme lptop pro x123", 5);
+  for (const double s : v) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(SimilarityVectorTest, SimilarPairDominatesDissimilarPair) {
+  // The monotone-classification premise: a clearly-more-similar pair has
+  // coordinate-wise >= scores.
+  const auto close = SimilarityVector("globex router max", "globex router ma");
+  const auto far = SimilarityVector("globex router max", "stark drone mini");
+  for (size_t i = 0; i < close.size(); ++i) {
+    EXPECT_GE(close[i], far[i]) << "metric " << i;
+  }
+}
+
+}  // namespace
+}  // namespace monoclass

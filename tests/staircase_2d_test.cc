@@ -1,0 +1,128 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the 2D staircase DP passive solver, the third independent
+// algorithm for Problem 2: it must agree with BOTH the flow solver and
+// the brute force everywhere in 2D.
+
+#include "passive/staircase_2d.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.h"
+#include "passive/brute_force.h"
+#include "passive/flow_solver.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+TEST(Staircase2DTest, SinglePoint) {
+  WeightedPointSet set;
+  set.Add(Point{1, 1}, 1, 3.0);
+  const auto result = SolvePassiveStaircase2D(set);
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+  EXPECT_TRUE(result.classifier.Classify(Point{1, 1}));
+}
+
+TEST(Staircase2DTest, CleanSeparableInput) {
+  WeightedPointSet set;
+  set.Add(Point{0, 0}, 0, 1.0);
+  set.Add(Point{1, 0}, 0, 1.0);
+  set.Add(Point{1, 1}, 1, 1.0);
+  set.Add(Point{2, 2}, 1, 1.0);
+  const auto result = SolvePassiveStaircase2D(set);
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+}
+
+TEST(Staircase2DTest, SingleInversionTakesCheaperSide) {
+  WeightedPointSet set;
+  set.Add(Point{0, 0}, 1, 7.0);
+  set.Add(Point{1, 1}, 0, 2.0);
+  EXPECT_DOUBLE_EQ(SolvePassiveStaircase2D(set).optimal_weighted_error,
+                   2.0);
+}
+
+TEST(Staircase2DTest, EqualPointsConflictingLabels) {
+  WeightedPointSet set;
+  set.Add(Point{1, 1}, 1, 3.0);
+  set.Add(Point{1, 1}, 0, 1.0);
+  EXPECT_DOUBLE_EQ(SolvePassiveStaircase2D(set).optimal_weighted_error,
+                   1.0);
+}
+
+TEST(Staircase2DTest, PaperExampleWeightedOptimumIs104) {
+  EXPECT_DOUBLE_EQ(
+      SolvePassiveStaircase2D(PaperFigure1WeightedPoints())
+          .optimal_weighted_error,
+      104.0);
+}
+
+TEST(Staircase2DTest, PaperExampleUnweightedOptimumIsThree) {
+  EXPECT_DOUBLE_EQ(
+      SolvePassiveStaircase2D(
+          WeightedPointSet::UnitWeights(PaperFigure1Points()))
+          .optimal_weighted_error,
+      3.0);
+}
+
+TEST(Staircase2DTest, AgreesWithFlowAndBruteForceOnRandomSets) {
+  Rng rng(51);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 1 + rng.UniformInt(14);
+    const auto set = testing_util::RandomWeightedSet(
+        rng, n, 2, rng.UniformDoubleInRange(0.2, 0.8));
+    const double staircase =
+        SolvePassiveStaircase2D(set).optimal_weighted_error;
+    const double flow = SolvePassiveWeighted(set).optimal_weighted_error;
+    const double brute =
+        SolvePassiveBruteForce(set).optimal_weighted_error;
+    EXPECT_NEAR(staircase, flow, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(staircase, brute, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Staircase2DTest, AgreesWithFlowOnTiedGrids) {
+  Rng rng(53);
+  for (int trial = 0; trial < 40; ++trial) {
+    WeightedPointSet set;
+    const size_t n = 2 + rng.UniformInt(30);
+    for (size_t i = 0; i < n; ++i) {
+      set.Add(Point{static_cast<double>(rng.UniformInt(4)),
+                    static_cast<double>(rng.UniformInt(4))},
+              rng.Bernoulli(0.5) ? 1 : 0,
+              rng.UniformDoubleInRange(0.5, 3.0));
+    }
+    EXPECT_NEAR(SolvePassiveStaircase2D(set).optimal_weighted_error,
+                SolvePassiveWeighted(set).optimal_weighted_error, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(Staircase2DTest, AgreesWithFlowOnLargerInputs) {
+  Rng rng(57);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto set = testing_util::RandomWeightedSet(rng, 400, 2);
+    EXPECT_NEAR(SolvePassiveStaircase2D(set).optimal_weighted_error,
+                SolvePassiveWeighted(set).optimal_weighted_error, 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(Staircase2DTest, ClassifierIsMonotoneStaircase) {
+  Rng rng(59);
+  const auto set = testing_util::RandomWeightedSet(rng, 60, 2);
+  const auto result = SolvePassiveStaircase2D(set);
+  const auto values = result.classifier.ClassifySet(set.points());
+  EXPECT_TRUE(IsMonotoneAssignment(set.points(), values));
+}
+
+TEST(Staircase2DTest, RejectsWrongDimension) {
+  WeightedPointSet set;
+  set.Add(Point{1, 2, 3}, 1, 1.0);
+  EXPECT_DEATH(SolvePassiveStaircase2D(set), "");
+}
+
+}  // namespace
+}  // namespace monoclass

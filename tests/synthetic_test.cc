@@ -1,0 +1,204 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/antichain.h"
+#include "passive/flow_solver.h"
+
+namespace monoclass {
+namespace {
+
+TEST(GeneratePlantedTest, SizesAndDimensions) {
+  PlantedOptions options;
+  options.num_points = 200;
+  options.dimension = 3;
+  options.noise_flips = 20;
+  const PlantedInstance instance = GeneratePlanted(options);
+  EXPECT_EQ(instance.data.size(), 200u);
+  EXPECT_EQ(instance.data.dimension(), 3u);
+  EXPECT_EQ(instance.flipped.size(), 20u);
+}
+
+TEST(GeneratePlantedTest, ZeroNoiseIsMonotone) {
+  PlantedOptions options;
+  options.num_points = 150;
+  options.dimension = 2;
+  options.noise_flips = 0;
+  const PlantedInstance instance = GeneratePlanted(options);
+  EXPECT_TRUE(
+      IsMonotoneAssignment(instance.data.points(), instance.data.labels()));
+  EXPECT_EQ(OptimalError(instance.data), 0u);
+}
+
+TEST(GeneratePlantedTest, NoiseBoundsOptimalError) {
+  PlantedOptions options;
+  options.num_points = 120;
+  options.dimension = 2;
+  options.noise_flips = 15;
+  const PlantedInstance instance = GeneratePlanted(options);
+  // Flipping k labels can raise k* to at most k.
+  EXPECT_LE(OptimalError(instance.data), 15u);
+}
+
+TEST(GeneratePlantedTest, FlippedIndicesDisagreeWithPlanted) {
+  PlantedOptions options;
+  options.num_points = 100;
+  options.noise_flips = 10;
+  const PlantedInstance instance = GeneratePlanted(options);
+  for (const size_t i : instance.flipped) {
+    const Label planted_label =
+        instance.planted.Classify(instance.data.point(i)) ? 1 : 0;
+    EXPECT_NE(instance.data.label(i), planted_label);
+  }
+}
+
+TEST(GeneratePlantedTest, DeterministicUnderSeed) {
+  PlantedOptions options;
+  options.num_points = 50;
+  options.seed = 77;
+  const PlantedInstance a = GeneratePlanted(options);
+  const PlantedInstance b = GeneratePlanted(options);
+  EXPECT_EQ(a.data.labels(), b.data.labels());
+  EXPECT_EQ(a.data.points().points(), b.data.points().points());
+}
+
+TEST(GenerateChainInstanceTest, WidthIsExactlyNumChains) {
+  for (const size_t w : {1u, 3u, 7u}) {
+    ChainInstanceOptions options;
+    options.num_chains = w;
+    options.chain_length = 15;
+    options.seed = w;
+    const ChainInstance instance = GenerateChainInstance(options);
+    EXPECT_EQ(instance.data.size(), w * 15u);
+    EXPECT_EQ(DominanceWidth(instance.data.points()), w);
+  }
+}
+
+TEST(GenerateChainInstanceTest, ReturnedDecompositionIsValid) {
+  ChainInstanceOptions options;
+  options.num_chains = 5;
+  options.chain_length = 20;
+  options.noise_per_chain = 3;
+  const ChainInstance instance = GenerateChainInstance(options);
+  EXPECT_TRUE(
+      ValidateChainDecomposition(instance.data.points(), instance.chains));
+  EXPECT_EQ(instance.chains.NumChains(), 5u);
+}
+
+TEST(GenerateChainInstanceTest, NoiseIsCountedExactly) {
+  ChainInstanceOptions options;
+  options.num_chains = 4;
+  options.chain_length = 25;
+  options.noise_per_chain = 5;
+  const ChainInstance instance = GenerateChainInstance(options);
+  EXPECT_EQ(instance.total_flips, 20u);
+  EXPECT_LE(OptimalError(instance.data), 20u);
+}
+
+TEST(GenerateChainInstanceTest, ZeroNoiseHasZeroOptimum) {
+  ChainInstanceOptions options;
+  options.num_chains = 6;
+  options.chain_length = 30;
+  options.noise_per_chain = 0;
+  const ChainInstance instance = GenerateChainInstance(options);
+  EXPECT_EQ(OptimalError(instance.data), 0u);
+}
+
+TEST(GenerateChainInstanceTest, HigherDimensionsKeepWidth) {
+  ChainInstanceOptions options;
+  options.num_chains = 4;
+  options.chain_length = 12;
+  options.dimension = 5;
+  const ChainInstance instance = GenerateChainInstance(options);
+  EXPECT_EQ(instance.data.dimension(), 5u);
+  EXPECT_EQ(DominanceWidth(instance.data.points()), 4u);
+}
+
+TEST(GenerateChainInstanceTest, BoundaryNoiseStaysNearThreshold) {
+  ChainInstanceOptions options;
+  options.num_chains = 3;
+  options.chain_length = 200;
+  options.noise_per_chain = 10;
+  options.noise_mode = NoiseMode::kBoundary;
+  options.seed = 23;
+  const ChainInstance instance = GenerateChainInstance(options);
+  EXPECT_EQ(instance.total_flips, 30u);
+  // Every flipped rank must lie within the 4x-noise window of its chain's
+  // planted threshold.
+  const size_t window = 4 * options.noise_per_chain;
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t r = 0; r < options.chain_length; ++r) {
+      const size_t index = instance.chains.chains[c][r];
+      const Label expected = r >= instance.thresholds[c] ? 1 : 0;
+      if (instance.data.label(index) != expected) {
+        const size_t threshold = instance.thresholds[c];
+        const size_t distance =
+            r > threshold ? r - threshold : threshold - r;
+        EXPECT_LE(distance, window)
+            << "flip at rank " << r << " too far from threshold "
+            << threshold;
+      }
+    }
+  }
+}
+
+TEST(GenerateChainInstanceTest, BoundaryNoiseHandlesEdgeThresholds) {
+  // Thresholds near 0 or m must not underflow the window computation.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    ChainInstanceOptions options;
+    options.num_chains = 2;
+    options.chain_length = 20;
+    options.noise_per_chain = 8;  // window 32 > m: clamps to whole chain
+    options.noise_mode = NoiseMode::kBoundary;
+    options.seed = seed;
+    const ChainInstance instance = GenerateChainInstance(options);
+    EXPECT_EQ(instance.total_flips, 16u);
+    EXPECT_EQ(instance.data.size(), 40u);
+  }
+}
+
+TEST(GenerateChainInstanceTest, ThresholdLabelsBeforeNoise) {
+  ChainInstanceOptions options;
+  options.num_chains = 3;
+  options.chain_length = 40;
+  options.noise_per_chain = 0;
+  options.seed = 21;
+  const ChainInstance instance = GenerateChainInstance(options);
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t r = 0; r < 40; ++r) {
+      const size_t index = instance.chains.chains[c][r];
+      EXPECT_EQ(instance.data.label(index),
+                r >= instance.thresholds[c] ? 1 : 0);
+    }
+  }
+}
+
+TEST(SplitTrainTestTest, PartitionsEveryPoint) {
+  PlantedOptions options;
+  options.num_points = 500;
+  options.seed = 31;
+  const PlantedInstance instance = GeneratePlanted(options);
+  const TrainTestSplit split = SplitTrainTest(instance.data, 0.3, 7);
+  EXPECT_EQ(split.train.size() + split.test.size(), 500u);
+  // Roughly the requested fraction (binomial, 500 draws).
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / 500.0, 0.3, 0.08);
+}
+
+TEST(SplitTrainTestTest, ExtremesAndDeterminism) {
+  PlantedOptions options;
+  options.num_points = 100;
+  options.seed = 37;
+  const PlantedInstance instance = GeneratePlanted(options);
+  EXPECT_EQ(SplitTrainTest(instance.data, 1.0, 1).train.size(), 100u);
+  EXPECT_EQ(SplitTrainTest(instance.data, 0.0, 1).train.size(), 0u);
+  const TrainTestSplit a = SplitTrainTest(instance.data, 0.5, 9);
+  const TrainTestSplit b = SplitTrainTest(instance.data, 0.5, 9);
+  EXPECT_EQ(a.train.size(), b.train.size());
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,153 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the incremental threshold-error index, cross-checked against
+// the offline exact solver after every activation (the defining
+// property: the index answers the same question as Solve1DWeighted over
+// the active observations).
+
+#include "passive/threshold_index.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "passive/isotonic_1d.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ThresholdIndexTest, EmptyIndexHasZeroError) {
+  const ThresholdErrorIndex index({1.0, 2.0, 3.0});
+  const auto best = index.BestThreshold();
+  EXPECT_DOUBLE_EQ(best.error, 0.0);
+  EXPECT_EQ(index.NumThresholds(), 4u);  // -inf, 1, 2, 3
+}
+
+TEST(ThresholdIndexTest, SinglePositiveObservation) {
+  ThresholdErrorIndex index({1.0, 2.0, 3.0});
+  index.Activate(2.0, 1, 5.0);
+  // err(-inf) = 0 (classified 1, correct); err(tau >= 2) = 5.
+  EXPECT_DOUBLE_EQ(index.ErrorAt(-kInf), 0.0);
+  EXPECT_DOUBLE_EQ(index.ErrorAt(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(index.ErrorAt(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(index.ErrorAt(3.0), 5.0);
+  EXPECT_DOUBLE_EQ(index.BestThreshold().error, 0.0);
+}
+
+TEST(ThresholdIndexTest, SingleNegativeObservation) {
+  ThresholdErrorIndex index({1.0, 2.0, 3.0});
+  index.Activate(2.0, 0, 4.0);
+  // Classified 1 (wrong) by every tau < 2.
+  EXPECT_DOUBLE_EQ(index.ErrorAt(-kInf), 4.0);
+  EXPECT_DOUBLE_EQ(index.ErrorAt(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(index.ErrorAt(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(index.BestThreshold().error, 0.0);
+  EXPECT_DOUBLE_EQ(index.BestThreshold().tau, 2.0);
+}
+
+TEST(ThresholdIndexTest, DuplicateCandidatesCollapse) {
+  const ThresholdErrorIndex index({1.0, 1.0, 2.0, 2.0});
+  EXPECT_EQ(index.NumThresholds(), 3u);
+}
+
+TEST(ThresholdIndexTest, ActivateUnknownValueAborts) {
+  ThresholdErrorIndex index({1.0, 2.0});
+  EXPECT_DEATH(index.Activate(1.5, 1, 1.0), "");
+}
+
+TEST(ThresholdIndexTest, MatchesOfflineSolverIncrementally) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    // Candidate grid with ties; activate observations one by one.
+    const size_t num_values = 1 + rng.UniformInt(20);
+    std::vector<double> candidates(num_values);
+    for (auto& v : candidates) {
+      v = static_cast<double>(rng.UniformInt(12));
+    }
+    ThresholdErrorIndex index(candidates);
+    std::vector<Weighted1DPoint> active;
+    const size_t activations = 1 + rng.UniformInt(40);
+    for (size_t step = 0; step < activations; ++step) {
+      const double value =
+          candidates[static_cast<size_t>(rng.UniformInt(candidates.size()))];
+      const Label label = rng.Bernoulli(0.5) ? 1 : 0;
+      const double weight = rng.UniformDoubleInRange(0.5, 3.0);
+      index.Activate(value, label, weight);
+      active.push_back(Weighted1DPoint{value, label, weight});
+
+      const auto expected = Solve1DWeighted(active);
+      const auto got = index.BestThreshold();
+      ASSERT_NEAR(got.error, expected.optimal_weighted_error, 1e-9)
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(ThresholdIndexTest, ErrorAtMatchesDirectComputation) {
+  Rng rng(37);
+  std::vector<double> candidates;
+  for (int i = 0; i < 15; ++i) {
+    candidates.push_back(static_cast<double>(i));
+  }
+  ThresholdErrorIndex index(candidates);
+  std::vector<Weighted1DPoint> active;
+  for (int step = 0; step < 60; ++step) {
+    const double value = static_cast<double>(rng.UniformInt(15));
+    const Label label = rng.Bernoulli(0.4) ? 1 : 0;
+    const double weight = rng.UniformDoubleInRange(0.1, 2.0);
+    index.Activate(value, label, weight);
+    active.push_back(Weighted1DPoint{value, label, weight});
+  }
+  for (double tau : {-kInf, 0.0, 3.0, 7.0, 14.0}) {
+    double direct = 0.0;
+    for (const auto& p : active) {
+      const bool predicted = p.value > tau;
+      if (predicted != (p.label == 1)) direct += p.weight;
+    }
+    EXPECT_NEAR(index.ErrorAt(tau), direct, 1e-9) << "tau " << tau;
+  }
+}
+
+TEST(ThresholdIndexTest, BestTauAchievesItsReportedError) {
+  Rng rng(41);
+  std::vector<double> candidates;
+  for (int i = 0; i < 25; ++i) {
+    candidates.push_back(rng.UniformDouble());
+  }
+  ThresholdErrorIndex index(candidates);
+  for (int step = 0; step < 80; ++step) {
+    const double value =
+        candidates[static_cast<size_t>(rng.UniformInt(candidates.size()))];
+    index.Activate(value, rng.Bernoulli(0.5) ? 1 : 0,
+                   rng.UniformDoubleInRange(0.5, 2.0));
+  }
+  const auto best = index.BestThreshold();
+  EXPECT_NEAR(index.ErrorAt(best.tau), best.error, 1e-9);
+  EXPECT_EQ(index.NumActive(), 80u);
+}
+
+TEST(ThresholdIndexTest, LargeIndexStaysFast) {
+  // 10^5 candidates, 10^5 activations: must finish well inside the test
+  // budget (the point of the O(log n) structure).
+  Rng rng(43);
+  std::vector<double> candidates(100000);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i] = static_cast<double>(i);
+  }
+  ThresholdErrorIndex index(candidates);
+  for (int step = 0; step < 100000; ++step) {
+    index.Activate(static_cast<double>(rng.UniformInt(100000)),
+                   rng.Bernoulli(0.5) ? 1 : 0, 1.0);
+  }
+  const auto best = index.BestThreshold();
+  EXPECT_GE(best.error, 0.0);
+  EXPECT_LE(best.error, 100000.0);
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,56 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Verifies the umbrella header is self-contained and exposes the whole
+// public API: one translation unit that touches every module through
+// "monoclass.h" alone.
+
+#include "monoclass.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+TEST(UmbrellaHeaderTest, EndToEndThroughSingleInclude) {
+  // data -> passive -> metrics -> io, all through the umbrella header.
+  EntityMatchingOptions options;
+  options.num_pairs = 120;
+  options.seed = 4;
+  const EntityMatchingInstance instance = GenerateEntityMatching(options);
+
+  const PassiveSolveResult solved = SolvePassiveUnweighted(instance.data);
+  const ConfusionMatrix matrix =
+      EvaluateClassifier(solved.classifier, instance.data);
+  EXPECT_EQ(static_cast<double>(matrix.Errors()),
+            solved.optimal_weighted_error);
+
+  std::stringstream stream;
+  WriteClassifier(solved.classifier, stream);
+  const auto loaded = ReadClassifier(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(EquivalentOn(*loaded, solved.classifier,
+                           instance.data.points()));
+}
+
+TEST(UmbrellaHeaderTest, ActiveApiReachable) {
+  const LabeledPointSet set = PaperFigure1Points();
+  InMemoryOracle oracle(set);
+  const ActiveSolveResult result =
+      SolveActiveMultiD(set.points(), oracle, ActiveSolveOptions{});
+  EXPECT_EQ(result.num_chains, DominanceWidth(set.points()));
+}
+
+TEST(UmbrellaHeaderTest, GraphSubstrateReachable) {
+  FlowNetwork network(3);
+  network.AddEdge(0, 1, 2.0);
+  network.AddEdge(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(
+      CreateMaxFlowSolver(MaxFlowAlgorithm::kDinic)->Solve(network, 0, 2),
+      1.0);
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,202 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the util layer: CHECK macros, RNG, statistics, table printing.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace monoclass {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  MC_CHECK(true);
+  MC_CHECK_EQ(1, 1);
+  MC_CHECK_LT(1, 2);
+  MC_CHECK_GE(2.0, 2.0);
+  SUCCEED();
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(MC_CHECK(false) << "context", "MC_CHECK");
+  EXPECT_DEATH(MC_CHECK_EQ(1, 2), "1 == 2");
+}
+
+TEST(RngTest, DeterministicSequences) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformIntInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(13);
+  const auto sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  const std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleWithReplacementBounds) {
+  Rng rng(15);
+  const auto sample = rng.SampleWithReplacement(10, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  for (const size_t v : sample) EXPECT_LT(v, 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(19);
+  Rng child_a = parent.Fork();
+  Rng child_b = parent.Fork();
+  EXPECT_NE(child_a.Next(), child_b.Next());
+}
+
+TEST(StatsTest, EmptyStat) {
+  const RunningStat stat;
+  EXPECT_EQ(stat.Count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.Variance(), 0.0);
+}
+
+TEST(StatsTest, MeanVarianceMinMax) {
+  RunningStat stat;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stat.Mean(), 5.0);
+  EXPECT_NEAR(stat.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(stat.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.Sum(), 40.0);
+}
+
+TEST(StatsTest, Quantiles) {
+  RunningStat stat;
+  for (int i = 1; i <= 100; ++i) stat.Add(static_cast<double>(i));
+  EXPECT_NEAR(stat.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(stat.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(stat.Quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(stat.Quantile(0.9), 90.1, 0.2);
+}
+
+TEST(StatsTest, QuantileCacheInvalidatedByAdd) {
+  RunningStat stat;
+  stat.Add(1.0);
+  EXPECT_DOUBLE_EQ(stat.Median(), 1.0);
+  stat.Add(3.0);
+  EXPECT_DOUBLE_EQ(stat.Median(), 2.0);
+}
+
+TEST(StatsTest, FractionAbove) {
+  RunningStat stat;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) stat.Add(v);
+  EXPECT_DOUBLE_EQ(stat.FractionAbove(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(stat.FractionAbove(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(stat.FractionAbove(0.0), 1.0);
+}
+
+TEST(TableTest, AlignedOutput) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRowValues("b", 22.5);
+  EXPECT_EQ(table.RowCount(), 2u);
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22.5"), std::string::npos);
+  EXPECT_NE(text.find("|-"), std::string::npos);
+}
+
+TEST(TableTest, ArityMismatchAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+TEST(FormatDoubleTest, SignificantDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatDouble(1234.5, 6), "1234.5");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace monoclass
