@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "active/one_d.h"
+#include "active/sample_audit.h"
 #include "core/chain_decomposition_2d.h"
+#include "core/invariant_audit.h"
+#include "util/audit.h"
 
 namespace monoclass {
 
@@ -31,6 +34,10 @@ ActiveSolveResult SolveActiveMultiD(const PointSet& points,
   } else {
     decomposition = MinimumChainDecomposition(points);
   }
+  // Minimality is audited where each decomposition is produced; here only
+  // the partition/ordering invariants matter (they make step 2 sound).
+  MC_AUDIT(AuditChainDecomposition(points, decomposition,
+                                   /*expect_minimum=*/false));
 
   ActiveSolveResult result{
       .classifier = MonotoneClassifier::AlwaysZero(points.dimension())};
@@ -65,6 +72,10 @@ ActiveSolveResult SolveActiveMultiD(const PointSet& points,
   result.classifier = passive.classifier;
   result.sigma_error = passive.optimal_weighted_error;
   result.probes = oracle.NumProbes() - probes_before;
+  // Union of per-chain samples covers every point exactly once (eq. (30)).
+  MC_AUDIT(AuditWeightedSample(result.sigma,
+                               static_cast<double>(points.size())));
+  MC_AUDIT(AuditMonotone(result.classifier, points));
   return result;
 }
 

@@ -9,7 +9,9 @@
 
 #include "active/error_curve.h"
 #include "active/estimator.h"
+#include "active/sample_audit.h"
 #include "passive/isotonic_1d.h"
+#include "util/audit.h"
 
 namespace monoclass {
 namespace {
@@ -42,6 +44,7 @@ class OneDSolver {
     std::vector<size_t> all(coordinates_.size());
     for (size_t i = 0; i < all.size(); ++i) all[i] = i;
     SolveLevels(std::move(all));
+    MC_AUDIT(AuditWeightedSample(result_.sigma, point_indices_, coordinates_));
 
     // Final selection: the threshold minimizing w-err over Sigma
     // (Lemma 13 equates that with minimizing f, which by the

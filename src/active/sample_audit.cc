@@ -1,0 +1,85 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "active/sample_audit.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace monoclass {
+
+AuditResult AuditWeightedSample(const std::vector<WeightedSampleEntry>& sigma,
+                                const std::vector<size_t>& point_indices,
+                                const std::vector<double>& coordinates,
+                                double tolerance) {
+  // Chains partition the global point set, so within one view the global
+  // indices are distinct and index -> coordinate is a function.
+  std::unordered_map<size_t, double> view;
+  view.reserve(point_indices.size());
+  for (size_t pos = 0; pos < point_indices.size(); ++pos) {
+    view.emplace(point_indices[pos], coordinates[pos]);
+  }
+
+  double total_weight = 0.0;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    const WeightedSampleEntry& entry = sigma[i];
+    if (entry.weight < 1.0 - tolerance) {
+      std::ostringstream why;
+      why << "Sigma entry " << i << " has weight " << entry.weight
+          << " < 1 (levels sample at most |portion| points, so every "
+             "weight is a ratio >= 1)";
+      return AuditResult::Fail(why.str());
+    }
+    const auto it = view.find(entry.point_index);
+    if (it == view.end()) {
+      std::ostringstream why;
+      why << "Sigma entry " << i << " references point " << entry.point_index
+          << " which is not part of the 1D view";
+      return AuditResult::Fail(why.str());
+    }
+    if (entry.coordinate != it->second) {
+      std::ostringstream why;
+      why << "Sigma entry " << i << " records coordinate " << entry.coordinate
+          << " for point " << entry.point_index << " but the view assigns "
+          << it->second;
+      return AuditResult::Fail(why.str());
+    }
+    total_weight += entry.weight;
+  }
+
+  const double expected = static_cast<double>(point_indices.size());
+  if (std::abs(total_weight - expected) > tolerance * std::max(1.0, expected)) {
+    std::ostringstream why;
+    why << "Lemma 13 covering identity violated: Sigma weights sum to "
+        << total_weight << " but the view has " << point_indices.size()
+        << " points";
+    return AuditResult::Fail(why.str());
+  }
+  return AuditResult::Ok();
+}
+
+AuditResult AuditWeightedSample(const WeightedPointSet& sigma,
+                                double expected_total_weight,
+                                double tolerance) {
+  double total_weight = 0.0;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    if (sigma.weight(i) <= 0.0) {
+      std::ostringstream why;
+      why << "Sigma entry " << i << " has non-positive weight "
+          << sigma.weight(i);
+      return AuditResult::Fail(why.str());
+    }
+    total_weight += sigma.weight(i);
+  }
+  if (std::abs(total_weight - expected_total_weight) >
+      tolerance * std::max(1.0, expected_total_weight)) {
+    std::ostringstream why;
+    why << "Lemma 13 covering identity violated: Sigma weights sum to "
+        << total_weight << ", expected " << expected_total_weight;
+    return AuditResult::Fail(why.str());
+  }
+  return AuditResult::Ok();
+}
+
+}  // namespace monoclass

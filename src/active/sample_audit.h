@@ -1,0 +1,45 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// First-principles verifier for the Lemma 13 weighted-sample bookkeeping.
+// See util/audit.h for how solvers invoke this behind MONOCLASS_AUDIT.
+//
+// The Section 3 recursion covers each level's points exactly once: a
+// fully-probed level contributes |level| weight-1 entries, a sampled
+// level contributes |portion| / |sample| weight on each of |sample|
+// entries. Either way a level covering m points adds total weight m, so
+// Sigma's weights must sum to exactly |P| -- any drift means a level was
+// double-counted, dropped, or mis-weighted.
+
+#ifndef MONOCLASS_ACTIVE_SAMPLE_AUDIT_H_
+#define MONOCLASS_ACTIVE_SAMPLE_AUDIT_H_
+
+#include <vector>
+
+#include "active/one_d.h"
+#include "core/dataset.h"
+#include "util/audit.h"
+
+namespace monoclass {
+
+// Audits a 1D run's Sigma against the view it was drawn from:
+//   * total weight equals the view size (the Lemma 13 covering identity);
+//   * every weight is >= 1 (a level never over-samples: weight is
+//     |portion| / |sample| with |sample| <= |portion|);
+//   * every entry references a point of the view, with the coordinate the
+//     view assigns to that point.
+AuditResult AuditWeightedSample(const std::vector<WeightedSampleEntry>& sigma,
+                                const std::vector<size_t>& point_indices,
+                                const std::vector<double>& coordinates,
+                                double tolerance = 1e-6);
+
+// Audits an aggregated weighted sample (the union Sigma of eq. (30)):
+// strictly positive weights summing to `expected_total_weight` (= n when
+// every chain's Sigma covers its chain exactly once).
+AuditResult AuditWeightedSample(const WeightedPointSet& sigma,
+                                double expected_total_weight,
+                                double tolerance = 1e-6);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_ACTIVE_SAMPLE_AUDIT_H_

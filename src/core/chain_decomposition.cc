@@ -7,7 +7,9 @@
 #include <numeric>
 
 #include "core/dominance.h"
+#include "core/invariant_audit.h"
 #include "graph/path_cover.h"
+#include "util/audit.h"
 
 namespace monoclass {
 
@@ -19,6 +21,8 @@ ChainDecomposition MinimumChainDecomposition(const PointSet& points) {
     std::vector<size_t> chain(path.begin(), path.end());
     decomposition.chains.push_back(std::move(chain));
   }
+  MC_AUDIT(AuditChainDecomposition(points, decomposition,
+                                   /*expect_minimum=*/true));
   return decomposition;
 }
 
@@ -56,6 +60,8 @@ ChainDecomposition GreedyChainDecomposition(const PointSet& points) {
     }
     if (!placed) decomposition.chains.push_back({index});
   }
+  MC_AUDIT(AuditChainDecomposition(points, decomposition,
+                                   /*expect_minimum=*/false));
   return decomposition;
 }
 

@@ -8,6 +8,9 @@
 #include <numeric>
 #include <vector>
 
+#include "core/invariant_audit.h"
+#include "util/audit.h"
+
 namespace monoclass {
 
 ChainDecomposition MinimumChainDecomposition2D(const PointSet& points) {
@@ -50,6 +53,8 @@ ChainDecomposition MinimumChainDecomposition2D(const PointSet& points) {
       tails.emplace(y, chain_id);
     }
   }
+  MC_AUDIT(AuditChainDecomposition(points, decomposition,
+                                   /*expect_minimum=*/true));
   return decomposition;
 }
 

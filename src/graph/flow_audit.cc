@@ -1,0 +1,88 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "graph/flow_audit.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace monoclass {
+
+AuditResult AuditFlowConservation(const FlowNetwork& network, int source,
+                                  int sink, double flow_value,
+                                  const FlowAuditOptions& options) {
+  if (!network.IsValidVertex(source) || !network.IsValidVertex(sink)) {
+    return AuditResult::Fail("source or sink out of range");
+  }
+  const double value_tolerance =
+      options.tolerance * std::max(1.0, std::abs(flow_value));
+  std::vector<double> net(static_cast<size_t>(network.NumVertices()), 0.0);
+  for (int u = 0; u < network.NumVertices(); ++u) {
+    for (const auto& edge : network.adjacency(u)) {
+      if (edge.capacity <= 0.0) continue;  // reverse twin
+      const double flow = FlowNetwork::FlowOn(edge);
+      if (flow < -options.tolerance ||
+          flow > edge.capacity + options.tolerance) {
+        std::ostringstream why;
+        why << "capacity constraint violated on edge " << u << " -> "
+            << edge.to << ": flow " << flow << " outside [0, "
+            << edge.capacity << "]";
+        return AuditResult::Fail(why.str());
+      }
+      net[static_cast<size_t>(u)] += flow;
+      net[static_cast<size_t>(edge.to)] -= flow;
+    }
+  }
+  for (int v = 0; v < network.NumVertices(); ++v) {
+    const double expected =
+        v == source ? flow_value : (v == sink ? -flow_value : 0.0);
+    if (std::abs(net[static_cast<size_t>(v)] - expected) > value_tolerance) {
+      std::ostringstream why;
+      why << "conservation violated at vertex " << v << ": net out-flow "
+          << net[static_cast<size_t>(v)] << ", expected " << expected;
+      return AuditResult::Fail(why.str());
+    }
+  }
+  return AuditResult::Ok();
+}
+
+AuditResult AuditMinCut(const FlowNetwork& network, int source, int sink,
+                        double flow_value, const FlowAuditOptions& options) {
+  AuditResult conservation =
+      AuditFlowConservation(network, source, sink, flow_value, options);
+  if (!conservation.ok) return conservation;
+
+  const std::vector<bool> reachable = ResidualReachable(network, source);
+  if (!reachable[static_cast<size_t>(source)]) {
+    return AuditResult::Fail("source not residual-reachable from itself");
+  }
+  if (reachable[static_cast<size_t>(sink)]) {
+    return AuditResult::Fail(
+        "sink residual-reachable after solving: an augmenting path remains, "
+        "so the flow is not maximum (Lemma 7 violated)");
+  }
+
+  double cut_weight = 0.0;
+  for (const CutEdge& edge : MinCutEdges(network, source)) {
+    cut_weight += edge.capacity;
+    if (edge.capacity >= options.infinity_threshold) {
+      std::ostringstream why;
+      why << "Lemma 18 violated: cut edge " << edge.from << " -> " << edge.to
+          << " has infinite capacity " << edge.capacity << " (threshold "
+          << options.infinity_threshold << ")";
+      return AuditResult::Fail(why.str());
+    }
+  }
+  const double value_tolerance =
+      options.tolerance * std::max(1.0, std::abs(flow_value));
+  if (std::abs(cut_weight - flow_value) > value_tolerance) {
+    std::ostringstream why;
+    why << "max-flow min-cut violated: cut weight " << cut_weight
+        << " != flow value " << flow_value << " (Lemma 8)";
+    return AuditResult::Fail(why.str());
+  }
+  return AuditResult::Ok();
+}
+
+}  // namespace monoclass

@@ -1,0 +1,52 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// First-principles verifiers for a solved flow network. See util/audit.h
+// for how solvers invoke these behind MONOCLASS_AUDIT.
+//
+// AuditFlowConservation re-checks the Section 2 flow axioms directly on
+// the residual bookkeeping; AuditMinCut re-derives the minimum cut from
+// residual reachability and checks it against max-flow min-cut (Lemmas
+// 7-8) and the no-infinite-edge guarantee (Lemma 18).
+
+#ifndef MONOCLASS_GRAPH_FLOW_AUDIT_H_
+#define MONOCLASS_GRAPH_FLOW_AUDIT_H_
+
+#include <limits>
+
+#include "graph/graph.h"
+#include "graph/max_flow.h"
+#include "util/audit.h"
+
+namespace monoclass {
+
+struct FlowAuditOptions {
+  // Capacities at or above this threshold count as "infinite" for the
+  // Lemma 18 check (the passive solver sets it to TotalWeight() + 1; the
+  // default disables the check for plain networks).
+  double infinity_threshold = std::numeric_limits<double>::infinity();
+  // Absolute slack for capacity bounds; value comparisons additionally
+  // scale it by max(1, |flow_value|).
+  double tolerance = 1e-6;
+};
+
+// Audits the flow axioms on a solved network: every forward edge carries
+// flow in [0, capacity], every non-terminal vertex conserves flow, and
+// the source's net out-flow equals `flow_value` (the sink's mirrors it).
+AuditResult AuditFlowConservation(const FlowNetwork& network, int source,
+                                  int sink, double flow_value,
+                                  const FlowAuditOptions& options = {});
+
+// Audits the residual-reachability minimum cut of a solved network:
+//   * the source is residual-reachable, the sink is not (the flow is
+//     maximum, Lemma 7);
+//   * the capacities of the original edges leaving the source side sum
+//     to `flow_value` (max-flow min-cut, Lemma 8);
+//   * no cut edge has capacity >= options.infinity_threshold (Lemma 18).
+// Includes AuditFlowConservation, so one call per solve suffices.
+AuditResult AuditMinCut(const FlowNetwork& network, int source, int sink,
+                        double flow_value, const FlowAuditOptions& options = {});
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_GRAPH_FLOW_AUDIT_H_

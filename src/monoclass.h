@@ -18,6 +18,7 @@
 #include "core/classifier.h"
 #include "core/dataset.h"
 #include "core/dominance.h"
+#include "core/invariant_audit.h"
 #include "core/metrics.h"
 #include "core/paper_example.h"
 #include "core/point.h"
@@ -32,12 +33,14 @@
 
 // Active (probe-budgeted) solvers -- paper Problem 1.
 #include "active/baselines.h"
+#include "active/error_curve.h"
 #include "active/estimator.h"
 #include "active/lower_bound.h"
 #include "active/multi_d.h"
 #include "active/one_d.h"
 #include "active/oracle.h"
 #include "active/params.h"
+#include "active/sample_audit.h"
 
 // Workload generation and I/O.
 #include "data/entity_matching.h"
@@ -46,9 +49,22 @@
 #include "io/serialization.h"
 
 // Graph substrate (exposed for users who need max flow / matching
-// directly).
+// directly), including the individual solver classes.
+#include "graph/dinic.h"
+#include "graph/edmonds_karp.h"
+#include "graph/flow_audit.h"
 #include "graph/matching.h"
 #include "graph/max_flow.h"
 #include "graph/path_cover.h"
+#include "graph/push_relabel.h"
+
+// Utilities: invariant auditing, deterministic randomness, experiment
+// bookkeeping.
+#include "util/audit.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
 
 #endif  // MONOCLASS_MONOCLASS_H_

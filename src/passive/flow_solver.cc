@@ -6,7 +6,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/invariant_audit.h"
+#include "graph/flow_audit.h"
 #include "passive/contending.h"
+#include "util/audit.h"
 
 namespace monoclass {
 namespace {
@@ -72,6 +75,8 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   // Step 3: max flow and the residual-reachability cut.
   result.flow_value =
       CreateMaxFlowSolver(options.algorithm)->Solve(network, source, sink);
+  MC_AUDIT(AuditMinCut(network, source, sink, result.flow_value,
+                       {.infinity_threshold = infinite_capacity}));
   const std::vector<bool> reachable = ResidualReachable(network, source);
 
   // Step 4: h*_cut(p) = 1 iff p's vertex is NOT residual-reachable. For a
@@ -98,6 +103,7 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   MC_CHECK_LE(std::abs(result.optimal_weighted_error - result.flow_value),
               kErrorCheckTolerance * std::max(1.0, result.flow_value))
       << "flow value disagrees with classifier error";
+  MC_AUDIT(AuditMonotone(result.classifier, set.points()));
   return result;
 }
 

@@ -1,0 +1,77 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Infrastructure for the invariant-audit layer.
+//
+// The paper's correctness claims are structural (Lemma 13: the recursive
+// 1D sample is a fully-labeled weighted sample; Lemma 16: the cut
+// classifier is monotone; Lemma 18: a minimum cut contains no
+// infinite-capacity edge; Dilworth: a minimum chain decomposition has
+// exactly width-many chains). Each solver module exposes an Audit*
+// verifier re-checking its output against the corresponding lemma from
+// first principles:
+//
+//   core/invariant_audit.h   AuditChainDecomposition, AuditMonotone
+//   graph/flow_audit.h       AuditFlowConservation, AuditMinCut
+//   active/sample_audit.h    AuditWeightedSample
+//
+// The verifiers are ordinary always-compiled functions returning an
+// AuditResult, so tests can exercise them directly. Solver hot paths
+// invoke them through MC_AUDIT(...), which evaluates its argument -- and
+// aborts with the verifier's diagnostic on failure -- only when the
+// library is configured with -DMONOCLASS_AUDIT=ON; otherwise the audit
+// expression is not evaluated at all and costs nothing.
+//
+//   MC_AUDIT(AuditMinCut(network, source, sink, flow));
+
+#ifndef MONOCLASS_UTIL_AUDIT_H_
+#define MONOCLASS_UTIL_AUDIT_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace monoclass {
+
+// Outcome of one invariant audit: ok, or a failure with a human-readable
+// diagnostic naming the violated invariant and the offending witnesses.
+struct AuditResult {
+  bool ok = true;
+  std::string failure;  // empty iff ok
+
+  static AuditResult Ok() { return AuditResult{}; }
+  static AuditResult Fail(std::string why) {
+    return AuditResult{false, std::move(why)};
+  }
+
+  explicit operator bool() const { return ok; }
+};
+
+namespace internal_audit {
+
+// Aborts through the MC_CHECK machinery when `result` reports a
+// violation, quoting the audit expression and the verifier's diagnostic.
+inline void Require(const AuditResult& result, const char* expression,
+                    const char* file, int line) {
+  if (!result.ok) {
+    internal_check::CheckFailureStream("MC_AUDIT", file, line, expression)
+        << result.failure;
+  }
+}
+
+}  // namespace internal_audit
+}  // namespace monoclass
+
+// MC_AUDIT_ENABLED lets callers gate *preparation* work (e.g. saving a
+// pre-solve copy of a network) that only exists to feed an audit.
+#ifdef MONOCLASS_AUDIT
+#define MC_AUDIT_ENABLED 1
+#define MC_AUDIT(expr) \
+  ::monoclass::internal_audit::Require((expr), #expr, __FILE__, __LINE__)
+#else
+#define MC_AUDIT_ENABLED 0
+#define MC_AUDIT(expr) static_cast<void>(0)
+#endif
+
+#endif  // MONOCLASS_UTIL_AUDIT_H_

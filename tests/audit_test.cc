@@ -1,0 +1,328 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Tests for the invariant-audit layer itself: each verifier must accept
+// solver output (positive cases) and pinpoint hand-planted violations of
+// its lemma with a diagnostic naming the witnesses (negative cases).
+
+#include "core/invariant_audit.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "active/one_d.h"
+#include "active/sample_audit.h"
+#include "core/chain_decomposition.h"
+#include "core/classifier.h"
+#include "core/dataset.h"
+#include "graph/flow_audit.h"
+#include "graph/max_flow.h"
+#include "test_util.h"
+#include "util/audit.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+// Plain-gtest substring matcher (the suite links gtest, not gmock).
+#define EXPECT_FAILURE_CONTAINS(audit, fragment)                       \
+  EXPECT_NE((audit).failure.find(fragment), std::string::npos)         \
+      << "diagnostic was: " << (audit).failure
+
+PointSet GridPoints() {
+  // 2D: (0,0) < (1,1) < (2,2); (0,2) and (2,0) incomparable to the
+  // diagonal's interior.
+  return PointSet({{0, 0}, {1, 1}, {2, 2}, {0, 2}, {2, 0}});
+}
+
+// Index of the longest chain (the diagonal for GridPoints; the tests
+// below must not depend on the path cover's chain ordering).
+size_t LongestChain(const ChainDecomposition& decomposition) {
+  size_t best = 0;
+  for (size_t c = 1; c < decomposition.NumChains(); ++c) {
+    if (decomposition.chains[c].size() >
+        decomposition.chains[best].size()) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+// --- AuditChainDecomposition -------------------------------------------
+
+TEST(AuditChainDecompositionTest, AcceptsMinimumDecomposition) {
+  const PointSet points = GridPoints();
+  const ChainDecomposition decomposition = MinimumChainDecomposition(points);
+  const AuditResult audit =
+      AuditChainDecomposition(points, decomposition, /*expect_minimum=*/true);
+  EXPECT_TRUE(audit.ok) << audit.failure;
+}
+
+TEST(AuditChainDecompositionTest, AcceptsGreedyWithoutMinimality) {
+  const PointSet points = GridPoints();
+  const ChainDecomposition decomposition = GreedyChainDecomposition(points);
+  const AuditResult audit =
+      AuditChainDecomposition(points, decomposition, /*expect_minimum=*/false);
+  EXPECT_TRUE(audit.ok) << audit.failure;
+}
+
+TEST(AuditChainDecompositionTest, RejectsDroppedIndex) {
+  const PointSet points = GridPoints();
+  ChainDecomposition decomposition = MinimumChainDecomposition(points);
+  decomposition.chains[LongestChain(decomposition)].pop_back();
+  const AuditResult audit =
+      AuditChainDecomposition(points, decomposition, /*expect_minimum=*/false);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "not a partition");
+}
+
+TEST(AuditChainDecompositionTest, RejectsDuplicatedIndex) {
+  const PointSet points = GridPoints();
+  ChainDecomposition decomposition = MinimumChainDecomposition(points);
+  decomposition.chains.push_back({decomposition.chains[0][0]});
+  const AuditResult audit =
+      AuditChainDecomposition(points, decomposition, /*expect_minimum=*/false);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "appears in chains");
+}
+
+TEST(AuditChainDecompositionTest, RejectsBrokenChainOrder) {
+  // (0,2) never dominates (1,1): gluing them into one chain must fail.
+  const PointSet points = GridPoints();
+  ChainDecomposition decomposition;
+  decomposition.chains = {{0, 1, 3}, {2}, {4}};
+  const AuditResult audit =
+      AuditChainDecomposition(points, decomposition, /*expect_minimum=*/false);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "breaks dominance order");
+}
+
+TEST(AuditChainDecompositionTest, RejectsEmptyChain) {
+  const PointSet points = GridPoints();
+  ChainDecomposition decomposition = MinimumChainDecomposition(points);
+  decomposition.chains.emplace_back();
+  const AuditResult audit =
+      AuditChainDecomposition(points, decomposition, /*expect_minimum=*/false);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "empty");
+}
+
+TEST(AuditChainDecompositionTest, RejectsNonMinimalAsMinimum) {
+  // Splitting one chain into two singletons keeps a valid partition but
+  // breaks the Dilworth certificate.
+  const PointSet points = GridPoints();
+  ChainDecomposition decomposition = MinimumChainDecomposition(points);
+  const size_t longest = LongestChain(decomposition);
+  ASSERT_GT(decomposition.chains[longest].size(), 1u);
+  std::vector<size_t> tail = {decomposition.chains[longest].back()};
+  decomposition.chains[longest].pop_back();
+  decomposition.chains.push_back(std::move(tail));
+  EXPECT_TRUE(AuditChainDecomposition(points, decomposition,
+                                      /*expect_minimum=*/false)
+                  .ok);
+  const AuditResult audit =
+      AuditChainDecomposition(points, decomposition, /*expect_minimum=*/true);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "Dilworth");
+}
+
+// --- AuditMonotone ------------------------------------------------------
+
+TEST(AuditMonotoneTest, AcceptsThresholdClassifiers) {
+  const PointSet points = GridPoints();
+  EXPECT_TRUE(AuditMonotone(MonotoneClassifier::AlwaysZero(2), points).ok);
+  EXPECT_TRUE(AuditMonotone(MonotoneClassifier::AlwaysOne(2), points).ok);
+  const MonotoneClassifier h =
+      MonotoneClassifier::FromGenerators({{1, 1}}, 2);
+  EXPECT_TRUE(AuditMonotone(h, points).ok);
+}
+
+TEST(AuditMonotoneTest, RejectsDimensionMismatch) {
+  const AuditResult audit =
+      AuditMonotone(MonotoneClassifier::AlwaysZero(3), GridPoints());
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "dimension");
+}
+
+TEST(AuditMonotoneTest, RandomClassifiersAlwaysAudit) {
+  // The representation is monotone by construction, so any generator set
+  // must audit clean on any point set -- this is the cheap direction of
+  // Lemma 16, exercised across random inputs.
+  Rng rng(0x9a9a);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t d = 1 + rng.UniformInt(3);
+    const size_t num_generators = 1 + rng.UniformInt(4);
+    std::vector<Point> generators;
+    for (size_t g = 0; g < num_generators; ++g) {
+      std::vector<double> coords(d);
+      for (auto& c : coords) c = rng.UniformDouble();
+      generators.emplace_back(std::move(coords));
+    }
+    const MonotoneClassifier h =
+        MonotoneClassifier::FromGenerators(std::move(generators), d);
+    PointSet points;
+    for (size_t i = 0; i < 30; ++i) {
+      std::vector<double> coords(d);
+      for (auto& c : coords) c = rng.UniformDouble();
+      points.Add(Point(std::move(coords)));
+    }
+    const AuditResult audit = AuditMonotone(h, points);
+    EXPECT_TRUE(audit.ok) << audit.failure;
+  }
+}
+
+// --- AuditFlowConservation / AuditMinCut --------------------------------
+
+FlowNetwork SolvedDiamond(double* flow) {
+  // 0 -> {1,2} -> 3 diamond with bottleneck 5.
+  FlowNetwork network(4);
+  network.AddEdge(0, 1, 3.0);
+  network.AddEdge(1, 3, 3.0);
+  network.AddEdge(0, 2, 5.0);
+  network.AddEdge(2, 3, 2.0);
+  *flow = CreateMaxFlowSolver(MaxFlowAlgorithm::kDinic)->Solve(network, 0, 3);
+  return network;
+}
+
+TEST(AuditMinCutTest, AcceptsSolvedNetwork) {
+  double flow = 0.0;
+  const FlowNetwork network = SolvedDiamond(&flow);
+  EXPECT_EQ(flow, 5.0);
+  const AuditResult audit = AuditMinCut(network, 0, 3, flow);
+  EXPECT_TRUE(audit.ok) << audit.failure;
+}
+
+TEST(AuditMinCutTest, RejectsWrongFlowValue) {
+  double flow = 0.0;
+  const FlowNetwork network = SolvedDiamond(&flow);
+  const AuditResult audit = AuditMinCut(network, 0, 3, flow + 1.0);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "conservation");
+}
+
+TEST(AuditMinCutTest, RejectsUnsolvedNetwork) {
+  FlowNetwork network(3);
+  network.AddEdge(0, 1, 2.0);
+  network.AddEdge(1, 2, 2.0);
+  // No solve: the zero flow is conserved but not maximum.
+  const AuditResult audit = AuditMinCut(network, 0, 2, 0.0);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "not maximum");
+}
+
+TEST(AuditMinCutTest, RejectsInfiniteCutEdge) {
+  // A single saturated edge above the infinity threshold: the minimum cut
+  // necessarily contains it, which Lemma 18 forbids in solver networks.
+  FlowNetwork network(2);
+  network.AddEdge(0, 1, 100.0);
+  const double flow =
+      CreateMaxFlowSolver(MaxFlowAlgorithm::kDinic)->Solve(network, 0, 1);
+  FlowAuditOptions options;
+  options.infinity_threshold = 50.0;
+  const AuditResult audit = AuditMinCut(network, 0, 1, flow, options);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "Lemma 18");
+}
+
+TEST(AuditFlowConservationTest, RejectsOutOfRangeTerminals) {
+  const FlowNetwork network(2);
+  EXPECT_FALSE(AuditFlowConservation(network, 0, 7, 0.0).ok);
+}
+
+// --- AuditWeightedSample ------------------------------------------------
+
+std::vector<WeightedSampleEntry> CoveringSigma() {
+  // A 4-point view covered by one weight-1 entry and two weight-1.5
+  // entries: total weight 4 = |view|.
+  return {
+      {10, 0.0, 0, 1.0},
+      {11, 1.0, 0, 1.5},
+      {13, 3.0, 1, 1.5},
+  };
+}
+
+const std::vector<size_t> kViewIndices = {10, 11, 12, 13};
+const std::vector<double> kViewCoordinates = {0.0, 1.0, 2.0, 3.0};
+
+TEST(AuditWeightedSampleTest, AcceptsCoveringSample) {
+  const AuditResult audit =
+      AuditWeightedSample(CoveringSigma(), kViewIndices, kViewCoordinates);
+  EXPECT_TRUE(audit.ok) << audit.failure;
+}
+
+TEST(AuditWeightedSampleTest, RejectsWeightDrift) {
+  auto sigma = CoveringSigma();
+  sigma[1].weight += 0.25;
+  const AuditResult audit =
+      AuditWeightedSample(sigma, kViewIndices, kViewCoordinates);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "Lemma 13");
+}
+
+TEST(AuditWeightedSampleTest, RejectsSubUnitWeight) {
+  auto sigma = CoveringSigma();
+  sigma[0].weight = 0.5;
+  const AuditResult audit =
+      AuditWeightedSample(sigma, kViewIndices, kViewCoordinates);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "weight");
+}
+
+TEST(AuditWeightedSampleTest, RejectsForeignPoint) {
+  auto sigma = CoveringSigma();
+  sigma[0].point_index = 99;
+  const AuditResult audit =
+      AuditWeightedSample(sigma, kViewIndices, kViewCoordinates);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "not part of the 1D view");
+}
+
+TEST(AuditWeightedSampleTest, RejectsCoordinateMismatch) {
+  auto sigma = CoveringSigma();
+  sigma[2].coordinate = 2.0;
+  const AuditResult audit =
+      AuditWeightedSample(sigma, kViewIndices, kViewCoordinates);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "the view assigns");
+}
+
+TEST(AuditWeightedSampleTest, AggregateOverloadChecksTotalWeight) {
+  WeightedPointSet sigma;
+  sigma.Add(Point({0.0}), 0, 2.0);
+  sigma.Add(Point({1.0}), 1, 3.0);
+  EXPECT_TRUE(AuditWeightedSample(sigma, 5.0).ok);
+  const AuditResult audit = AuditWeightedSample(sigma, 6.0);
+  ASSERT_FALSE(audit.ok);
+  EXPECT_FAILURE_CONTAINS(audit, "Lemma 13");
+}
+
+// --- MC_AUDIT macro -----------------------------------------------------
+
+TEST(McAuditMacroTest, PassingAuditIsSilent) {
+  MC_AUDIT(AuditResult::Ok());
+  SUCCEED();
+}
+
+#if MC_AUDIT_ENABLED
+TEST(McAuditMacroTest, FailingAuditAbortsWithDiagnostic) {
+  EXPECT_DEATH(MC_AUDIT(AuditResult::Fail("planted failure")),
+               "MC_AUDIT failed at .*audit_test\\.cc.*planted failure");
+}
+#else
+TEST(McAuditMacroTest, DisabledAuditDoesNotEvaluate) {
+  int evaluations = 0;
+  // [[maybe_unused]]: when auditing is compiled out MC_AUDIT discards its
+  // argument unevaluated, which is exactly what this test demonstrates.
+  [[maybe_unused]] const auto probe = [&evaluations] {
+    ++evaluations;
+    return AuditResult::Fail("never seen");
+  };
+  MC_AUDIT(probe());
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace monoclass

@@ -1,0 +1,95 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Death tests for util/check.h: MC_CHECK aborts with file/line and the
+// streamed context, the comparison forms print both operands, and
+// MC_DCHECK's NDEBUG expansion does not evaluate side effects (the
+// `true || (cond)` path). The suite compiles in both debug and NDEBUG
+// configurations and asserts the behavior of whichever is active, so the
+// sanitizer presets (RelWithDebInfo => NDEBUG) and a plain Debug build
+// both get real coverage.
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace monoclass {
+namespace {
+
+TEST(McCheckDeathTest, PassingCheckIsSilent) {
+  MC_CHECK(1 + 1 == 2) << "never printed";
+  MC_CHECK_EQ(4, 4);
+  MC_CHECK_NE(4, 5);
+  MC_CHECK_LT(4, 5);
+  MC_CHECK_LE(5, 5);
+  MC_CHECK_GT(5, 4);
+  MC_CHECK_GE(5, 5);
+  SUCCEED();
+}
+
+TEST(McCheckDeathTest, AbortsWithFileLineAndStreamedContext) {
+  const int x = 3;
+  EXPECT_DEATH(
+      MC_CHECK(x == 4) << "x came from" << 7,
+      "MC_CHECK failed at .*check_death_test\\.cc:[0-9]+: x == 4.*"
+      "x came from.*7");
+}
+
+TEST(McCheckDeathTest, CheckEqPrintsBothOperands) {
+  EXPECT_DEATH(MC_CHECK_EQ(2 + 2, 5), "2 \\+ 2 == 5.*\\(.*4.*vs.*5.*\\)");
+}
+
+TEST(McCheckDeathTest, CheckLePrintsBothOperands) {
+  const double weight = 2.5;
+  EXPECT_DEATH(MC_CHECK_LE(weight, 1.0),
+               "weight <= 1\\.0.*\\(.*2\\.5.*vs.*1.*\\)");
+}
+
+TEST(McCheckDeathTest, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  MC_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+#ifdef NDEBUG
+
+TEST(McDcheckNdebugTest, FalseConditionDoesNotAbort) {
+  MC_DCHECK(false) << "never reached in NDEBUG";
+  MC_DCHECK_EQ(1, 2);
+  SUCCEED();
+}
+
+TEST(McDcheckNdebugTest, SideEffectsNotEvaluated) {
+  int evaluations = 0;
+  const auto bump = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  MC_DCHECK(bump());
+  MC_DCHECK_EQ((bump(), 1), 1);
+  EXPECT_EQ(evaluations, 0) << "NDEBUG MC_DCHECK must not run side effects";
+}
+
+#else  // !NDEBUG
+
+TEST(McDcheckDebugTest, FalseConditionAborts) {
+  EXPECT_DEATH(MC_DCHECK(false) << "debug context", "failed at .*: false");
+}
+
+TEST(McDcheckDebugTest, SideEffectsEvaluated) {
+  int evaluations = 0;
+  const auto bump = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  MC_DCHECK(bump());
+  EXPECT_EQ(evaluations, 1);
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace monoclass

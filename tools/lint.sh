@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Repo-convention lint pass. Checks, over every C++ file in the tree:
+#
+#   1. license headers  -- every .h/.cc/.cpp starts with the Copyright +
+#                          Apache license comment;
+#   2. include guards   -- every header uses the canonical
+#                          MONOCLASS_<PATH>_<FILE>_H_ guard (ifndef,
+#                          define, and a trailing "#endif  // GUARD");
+#   3. banned tokens    -- no naked assert() / abort() / rand() / srand()
+#                          in library code outside src/util/check.h
+#                          (invariants go through MC_CHECK / MC_AUDIT,
+#                          randomness through monoclass::Rng);
+#   4. umbrella closure -- every header under src/ is reachable from the
+#                          src/monoclass.h umbrella via quoted includes.
+#
+# Usage: lint.sh [REPO_ROOT]
+#   REPO_ROOT defaults to the repository containing this script. Pass a
+#   different tree to lint a staging copy (lint_test.sh does this).
+#
+# Optional: lint.sh --tidy additionally runs clang-tidy over src/ when
+# clang-tidy and build/compile_commands.json are available.
+set -u
+
+run_tidy=0
+root=""
+for arg in "$@"; do
+  case "$arg" in
+    --tidy) run_tidy=1 ;;
+    -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+    *) root="$arg" ;;
+  esac
+done
+if [ -z "$root" ]; then
+  root="$(cd "$(dirname "$0")/.." && pwd)"
+fi
+cd "$root" || { echo "lint: cannot cd to $root" >&2; exit 2; }
+
+failures=0
+fail() {
+  echo "lint: $1" >&2
+  failures=$((failures + 1))
+}
+
+# Every C++ file under the conventional directories that exist here.
+cxx_files() {
+  find src tests bench examples tools -type f \
+    \( -name '*.h' -o -name '*.cc' -o -name '*.cpp' \) 2>/dev/null | sort
+}
+
+# --- 1. license headers -------------------------------------------------
+for f in $(cxx_files); do
+  if ! head -2 "$f" | grep -q "Copyright"; then
+    fail "$f: missing Copyright line in the first two lines"
+  fi
+  if ! head -3 "$f" | grep -q "Licensed under the Apache License"; then
+    fail "$f: missing Apache license line in the first three lines"
+  fi
+done
+
+# --- 2. include guards --------------------------------------------------
+for f in $(cxx_files); do
+  case "$f" in
+    *.h) ;;
+    *) continue ;;
+  esac
+  # src/util/check.h -> MONOCLASS_UTIL_CHECK_H_ ; tests/test_util.h ->
+  # MONOCLASS_TESTS_TEST_UTIL_H_ ; src/monoclass.h -> MONOCLASS_MONOCLASS_H_
+  rel="${f#src/}"
+  if [ "$rel" = "$f" ]; then
+    rel="$f"   # tests/..., bench/..., tools/... keep their top directory
+  fi
+  guard="MONOCLASS_$(printf '%s' "${rel%.h}" | tr 'a-z' 'A-Z' | tr -C 'A-Z0-9' '_')_H_"
+  if ! grep -q "^#ifndef ${guard}\$" "$f"; then
+    fail "$f: missing '#ifndef ${guard}' (include-guard convention)"
+    continue
+  fi
+  if ! grep -q "^#define ${guard}\$" "$f"; then
+    fail "$f: missing '#define ${guard}'"
+  fi
+  if ! grep -q "^#endif  // ${guard}\$" "$f"; then
+    fail "$f: missing trailing '#endif  // ${guard}'"
+  fi
+done
+
+# --- 3. banned tokens in library code -----------------------------------
+for f in $(cxx_files); do
+  case "$f" in
+    src/util/check.h) continue ;;  # the one sanctioned abort site
+    src/*) ;;
+    *) continue ;;
+  esac
+  # [^_[:alnum:]] guards against static_assert / MC_CHECK-style prefixes;
+  # matches at start-of-line are caught by the leading alternation.
+  if grep -nE '(^|[^_[:alnum:]])assert[[:space:]]*\(' "$f" | grep -v static_assert | grep -q .; then
+    fail "$f: naked assert() -- use MC_CHECK / MC_DCHECK from util/check.h"
+  fi
+  if grep -qnE '(^|[^_[:alnum:]])s?rand[[:space:]]*\(' "$f"; then
+    fail "$f: rand()/srand() -- all randomness must flow through monoclass::Rng"
+  fi
+  if grep -qnE '(^|[^_[:alnum:]])(std::)?abort[[:space:]]*\(' "$f"; then
+    fail "$f: direct abort() -- abort through MC_CHECK so context is printed"
+  fi
+done
+
+# --- 4. umbrella reachability -------------------------------------------
+if [ -f src/monoclass.h ]; then
+  # Breadth-first closure over quoted includes, resolved relative to src/.
+  reached="monoclass.h"
+  frontier="monoclass.h"
+  while [ -n "$frontier" ]; do
+    next=""
+    for h in $frontier; do
+      for inc in $(sed -n 's/^#include "\([^"]*\)".*/\1/p' "src/$h"); do
+        [ -f "src/$inc" ] || continue
+        case " $reached " in
+          *" $inc "*) ;;
+          *) reached="$reached $inc"; next="$next $inc" ;;
+        esac
+      done
+    done
+    frontier="$next"
+  done
+  for f in $(find src -name '*.h' | sort); do
+    rel="${f#src/}"
+    case " $reached " in
+      *" $rel "*) ;;
+      *) fail "$f: not reachable from the src/monoclass.h umbrella header" ;;
+    esac
+  done
+fi
+
+# --- optional clang-tidy ------------------------------------------------
+if [ "$run_tidy" = 1 ]; then
+  if command -v clang-tidy >/dev/null 2>&1 && [ -f build/compile_commands.json ]; then
+    if ! clang-tidy -p build --quiet $(find src -name '*.cc'); then
+      fail "clang-tidy reported diagnostics"
+    fi
+  else
+    echo "lint: --tidy requested but clang-tidy or build/compile_commands.json missing; skipping" >&2
+  fi
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "lint: $failures violation(s)" >&2
+  exit 1
+fi
+echo "lint: OK"

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Self-test for lint.sh: builds throwaway source trees and verifies the
+# lint passes a clean tree and demonstrably fails each class of synthetic
+# violation with the right diagnostic.
+set -u
+
+lint="$(cd "$(dirname "$0")" && pwd)/lint.sh"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+failures=0
+fail() {
+  echo "lint_test: $1" >&2
+  failures=$((failures + 1))
+}
+
+header_boilerplate() {
+  # $1 = guard name
+  printf '// Copyright 2026 The monoclass Authors\n'
+  printf '// Licensed under the Apache License, Version 2.0.\n\n'
+  printf '#ifndef %s\n#define %s\n\nint kNothing = 0;\n\n#endif  // %s\n' \
+    "$1" "$1" "$1"
+}
+
+make_clean_tree() {
+  # A minimal tree the lint must accept: one good header plus an umbrella
+  # reaching it.
+  rm -rf "$tmp/tree"
+  mkdir -p "$tmp/tree/src/util"
+  header_boilerplate MONOCLASS_UTIL_GOOD_H_ > "$tmp/tree/src/util/good.h"
+  {
+    printf '// Copyright 2026 The monoclass Authors\n'
+    printf '// Licensed under the Apache License, Version 2.0.\n\n'
+    printf '#ifndef MONOCLASS_MONOCLASS_H_\n#define MONOCLASS_MONOCLASS_H_\n\n'
+    printf '#include "util/good.h"\n\n'
+    printf '#endif  // MONOCLASS_MONOCLASS_H_\n'
+  } > "$tmp/tree/src/monoclass.h"
+}
+
+expect_pass() {
+  # $1 = description
+  if ! out="$(bash "$lint" "$tmp/tree" 2>&1)"; then
+    fail "expected PASS for $1, got:"$'\n'"$out"
+  fi
+}
+
+expect_fail() {
+  # $1 = description, $2 = diagnostic fragment the output must contain
+  if out="$(bash "$lint" "$tmp/tree" 2>&1)"; then
+    fail "expected FAIL for $1, lint said OK"
+  elif ! printf '%s' "$out" | grep -qF "$2"; then
+    fail "FAIL for $1 missing diagnostic '$2', got:"$'\n'"$out"
+  fi
+}
+
+# 1. The clean tree passes.
+make_clean_tree
+expect_pass "a clean tree"
+
+# 2. Wrong include guard (the acceptance-criteria case).
+make_clean_tree
+header_boilerplate MONOCLASS_WRONG_GUARD_H_ > "$tmp/tree/src/util/good.h"
+expect_fail "a header with a wrong include guard" \
+  "missing '#ifndef MONOCLASS_UTIL_GOOD_H_'"
+
+# 3. Missing license header.
+make_clean_tree
+sed -i '1,2d' "$tmp/tree/src/util/good.h"
+expect_fail "a header without the license banner" "missing Copyright"
+
+# 4. Naked assert in library code.
+make_clean_tree
+printf '\nvoid Check(int x) { assert(x > 0); }\n' >> "$tmp/tree/src/util/good.h"
+expect_fail "library code calling naked assert()" "naked assert()"
+
+# 5. static_assert must NOT trip the assert ban.
+make_clean_tree
+sed -i 's/int kNothing = 0;/static_assert(1 + 1 == 2, "math");/' \
+  "$tmp/tree/src/util/good.h"
+expect_pass "library code using static_assert"
+
+# 6. rand() in library code.
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline int Draw() { return rand(); }/' \
+  "$tmp/tree/src/util/good.h"
+expect_fail "library code calling rand()" "rand()/srand()"
+
+# 7. A header the umbrella cannot reach.
+make_clean_tree
+header_boilerplate MONOCLASS_UTIL_ORPHAN_H_ > "$tmp/tree/src/util/orphan.h"
+expect_fail "a public header missing from the umbrella" \
+  "not reachable from the src/monoclass.h umbrella"
+
+# 8. The real repository passes (same invariant the lint_check test runs,
+# but from the self-test's perspective: a regression here means the lint
+# and the tree disagree).
+if ! out="$(bash "$lint" 2>&1)"; then
+  fail "lint.sh fails on the actual repository:"$'\n'"$out"
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "lint_test: $failures failure(s)" >&2
+  exit 1
+fi
+echo "lint_test: OK"
