@@ -13,7 +13,6 @@
 #include "active/oracle.h"
 #include "bench_util.h"
 #include "data/synthetic.h"
-#include "util/timer.h"
 
 namespace monoclass {
 namespace {
@@ -39,7 +38,7 @@ void Run() {
       ActiveSolveOptions solve_options;
       solve_options.sampling = ActiveSamplingParams::Practical(1.0, 0.05);
       solve_options.precomputed_chains = instance.chains;
-      WallTimer timer;
+      obs::SpanTimer timer("bench/active_solve");
       const auto result =
           SolveActiveMultiD(instance.data.points(), oracle, solve_options);
       const double total_ms = timer.ElapsedMillis();
@@ -67,7 +66,7 @@ void Run() {
       InMemoryOracle oracle(instance.data);
       ActiveSolveOptions solve_options;
       solve_options.sampling = ActiveSamplingParams::Practical(1.0, 0.05);
-      WallTimer timer;
+      obs::SpanTimer timer("bench/active_solve");
       const auto result =
           SolveActiveMultiD(instance.data.points(), oracle, solve_options);
       table.AddRowValues(n, 2, result.num_chains, result.probes,
@@ -91,7 +90,7 @@ void Run() {
       ActiveSolveOptions solve_options;
       solve_options.sampling = ActiveSamplingParams::Practical(eps, 0.05);
       solve_options.precomputed_chains = instance.chains;
-      WallTimer timer;
+      obs::SpanTimer timer("bench/active_solve");
       const auto result =
           SolveActiveMultiD(instance.data.points(), oracle, solve_options);
       table.AddRowValues(

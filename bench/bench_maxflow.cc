@@ -15,7 +15,6 @@
 #include "passive/contending.h"
 #include "passive/flow_solver.h"
 #include "util/random.h"
-#include "util/timer.h"
 
 namespace monoclass {
 namespace {
@@ -101,7 +100,7 @@ void Run() {
         FlowNetwork network =
             BuildClassificationNetwork(instance.data, &source, &sink);
         const auto solver = CreateMaxFlowSolver(algorithm);
-        WallTimer timer;
+        obs::SpanTimer timer("bench/classification_solve");
         const double flow = solver->Solve(network, source, sink);
         table.AddRowValues(n, solver->Name(), FormatDouble(flow, 6),
                            FormatDouble(timer.ElapsedMillis(), 4));
@@ -123,7 +122,7 @@ void Run() {
         FlowNetwork network = reference;  // copy with fresh residuals
         network.ResetFlow();
         const auto solver = CreateMaxFlowSolver(algorithm);
-        WallTimer timer;
+        obs::SpanTimer timer("bench/layered_solve");
         const double flow = solver->Solve(network, source, sink);
         table.AddRowValues(width, solver->Name(), FormatDouble(flow, 6),
                            FormatDouble(timer.ElapsedMillis(), 4));

@@ -14,7 +14,6 @@
 #include "passive/brute_force.h"
 #include "passive/flow_solver.h"
 #include "passive/staircase_2d.h"
-#include "util/timer.h"
 
 namespace monoclass {
 namespace {
@@ -36,7 +35,7 @@ void Run() {
       options.noise_flips = n / 100;
       options.seed = n;
       const PlantedInstance instance = GeneratePlanted(options);
-      WallTimer timer;
+      obs::SpanTimer timer("bench/solve");
       const PassiveSolveResult result =
           SolvePassiveUnweighted(instance.data);
       const double ms = timer.ElapsedMillis();
@@ -62,7 +61,7 @@ void Run() {
       options.noise_flips = 20;
       options.seed = 17 + d;
       const PlantedInstance instance = GeneratePlanted(options);
-      WallTimer timer;
+      obs::SpanTimer timer("bench/solve");
       const PassiveSolveResult result =
           SolvePassiveUnweighted(instance.data);
       table.AddRowValues(
@@ -88,10 +87,10 @@ void Run() {
       on.reduce_to_contending = true;
       PassiveSolveOptions off;
       off.reduce_to_contending = false;
-      WallTimer timer_on;
+      obs::SpanTimer timer_on("bench/solve_contending_on");
       const auto result_on = SolvePassiveUnweighted(instance.data, on);
       const double ms_on = timer_on.ElapsedMillis();
-      WallTimer timer_off;
+      obs::SpanTimer timer_off("bench/solve_contending_off");
       const auto result_off = SolvePassiveUnweighted(instance.data, off);
       const double ms_off = timer_off.ElapsedMillis();
       table.AddRowValues(n, result_on.network_vertices,
@@ -117,11 +116,11 @@ void Run() {
       const PlantedInstance instance = GeneratePlanted(options);
       const WeightedPointSet weighted =
           WeightedPointSet::UnitWeights(instance.data);
-      WallTimer flow_timer;
+      obs::SpanTimer flow_timer("bench/flow_solver");
       const double flow =
           SolvePassiveWeighted(weighted).optimal_weighted_error;
       const double flow_ms = flow_timer.ElapsedMillis();
-      WallTimer staircase_timer;
+      obs::SpanTimer staircase_timer("bench/staircase_dp");
       const double staircase =
           SolvePassiveStaircase2D(weighted).optimal_weighted_error;
       const double staircase_ms = staircase_timer.ElapsedMillis();

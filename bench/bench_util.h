@@ -4,26 +4,164 @@
 // Shared scaffolding for the experiment harnesses in bench/. Each binary
 // reproduces one experiment from DESIGN.md / EXPERIMENTS.md and prints
 // paper-style tables to stdout.
+//
+// Alongside the human-readable tables, every bench run emits one
+// machine-readable report, BENCH_<id>.json, into $MONOCLASS_BENCH_OUT
+// (or the working directory): per-phase wall time, per-phase counter
+// deltas, a final metrics snapshot and a run manifest (git SHA, build
+// type, obs state). When tracing is active (MONOCLASS_TRACE=1) a
+// Chrome-trace file TRACE_<id>.json is written next to it. Pretty-print
+// or schema-validate either file with tools/mc_report.
 
 #ifndef MONOCLASS_BENCH_BENCH_UTIL_H_
 #define MONOCLASS_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "io/serialization.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace monoclass {
 namespace bench {
 
+// Version of the BENCH_*.json layout; bump when fields change shape.
+inline constexpr int kBenchSchemaVersion = 1;
+
+// Collects phase timings and metric deltas over one bench run and writes
+// BENCH_<id>.json when the process exits (or on explicit Finish()).
+// PrintHeader()/PrintSection() below feed it, so existing bench binaries
+// get the JSON output without extra calls.
+class BenchReport {
+ public:
+  static BenchReport& Global() {
+    static BenchReport report;
+    return report;
+  }
+
+  // Starts the report. Also applies the MONOCLASS_OBS / MONOCLASS_TRACE
+  // environment switches so bench binaries need no explicit obs setup.
+  void Begin(const std::string& id, const std::string& artifact,
+             const std::string& claim) {
+    obs::InitFromEnv();
+    manifest_ = MakeRunManifest(id, artifact, claim);
+    started_ = true;
+    finished_ = false;
+    phases_.clear();
+  }
+
+  // Closes the current phase (if any) and opens a new one.
+  void BeginPhase(const std::string& name) {
+    CloseCurrentPhase();
+    current_ = Phase{};
+    current_.name = name;
+    current_.start_us = obs::NowMicros();
+    current_.begin = obs::MetricsRegistry::Global().Snapshot();
+    in_phase_ = true;
+  }
+
+  // Attaches a free-form parameter to the manifest (seed, n, solver...).
+  void AddParam(const std::string& key, const std::string& value) {
+    manifest_.params.emplace_back(key, value);
+  }
+
+  // Writes BENCH_<id>.json (and TRACE_<id>.json when tracing is active).
+  // Idempotent; called automatically at process exit.
+  void Finish() {
+    if (!started_ || finished_) return;
+    finished_ = true;
+    CloseCurrentPhase();
+    const std::string base = OutputDir();
+    {
+      std::ofstream out(base + "/BENCH_" + manifest_.experiment + ".json");
+      if (out) WriteJson(out);
+    }
+    if (obs::TracingActive()) {
+      std::ofstream out(base + "/TRACE_" + manifest_.experiment + ".json");
+      if (out) obs::WriteChromeTrace(out);
+    }
+  }
+
+  void WriteJson(std::ostream& out) {
+    out << "{\"schema_version\":" << kBenchSchemaVersion << ",\"manifest\":";
+    WriteRunManifestJson(manifest_, out);
+    out << ",\"phases\":[";
+    for (size_t i = 0; i < phases_.size(); ++i) {
+      const Phase& phase = phases_[i];
+      if (i > 0) out << ",";
+      out << "{\"name\":\"" << JsonEscape(phase.name)
+          << "\",\"wall_ms\":" << JsonNumber(phase.wall_ms)
+          << ",\"counters\":{";
+      bool first = true;
+      for (const obs::MetricSample& sample : phase.end.samples) {
+        if (sample.kind != obs::MetricSample::Kind::kCounter) continue;
+        const uint64_t before = phase.begin.CounterValue(sample.name);
+        const auto after = static_cast<uint64_t>(sample.value);
+        if (after <= before) continue;  // only counters that moved
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << JsonEscape(sample.name) << "\":" << (after - before);
+      }
+      out << "}}";
+    }
+    out << "],\"metrics\":";
+    obs::MetricsRegistry::Global().WriteJson(out);
+    out << ",\"dropped_spans\":" << obs::DroppedSpans() << "}\n";
+  }
+
+ private:
+  struct Phase {
+    std::string name;
+    double start_us = 0.0;
+    double wall_ms = 0.0;
+    obs::MetricsSnapshot begin;
+    obs::MetricsSnapshot end;
+  };
+
+  BenchReport() = default;
+  ~BenchReport() { Finish(); }
+
+  static std::string OutputDir() {
+    const char* dir = std::getenv("MONOCLASS_BENCH_OUT");
+    return (dir != nullptr && *dir != '\0') ? dir : ".";
+  }
+
+  void CloseCurrentPhase() {
+    if (!in_phase_) return;
+    in_phase_ = false;
+    current_.wall_ms = (obs::NowMicros() - current_.start_us) * 1e-3;
+    current_.end = obs::MetricsRegistry::Global().Snapshot();
+    phases_.push_back(std::move(current_));
+  }
+
+  RunManifest manifest_;
+  std::vector<Phase> phases_;
+  Phase current_;
+  bool started_ = false;
+  bool in_phase_ = false;
+  bool finished_ = false;
+};
+
 // Prints the experiment banner: id, paper artifact, claim under test.
+// Also opens the machine-readable report for this run.
 inline void PrintHeader(const std::string& id, const std::string& artifact,
                         const std::string& claim) {
+  BenchReport::Global().Begin(id, artifact, claim);
   std::cout << "=== Experiment " << id << " -- " << artifact << " ===\n"
             << "Claim: " << claim << "\n\n";
 }
 
+// Starts a named section; sections double as report phases.
 inline void PrintSection(const std::string& title) {
+  BenchReport::Global().BeginPhase(title);
   std::cout << "\n--- " << title << " ---\n";
 }
 

@@ -9,6 +9,8 @@
 #include "active/sample_audit.h"
 #include "core/chain_decomposition_2d.h"
 #include "core/invariant_audit.h"
+#include "obs/obs.h"
+#include "obs/probe_budget.h"
 #include "util/audit.h"
 
 namespace monoclass {
@@ -19,20 +21,24 @@ ActiveSolveResult SolveActiveMultiD(const PointSet& points,
   MC_CHECK(!points.empty());
   MC_CHECK_EQ(points.size(), oracle.NumPoints());
   options.sampling.Validate();
+  MC_SPAN("active/solve");
   const size_t probes_before = oracle.NumProbes();
 
   // Step 1: chain decomposition.
   ChainDecomposition decomposition;
-  if (options.precomputed_chains.has_value()) {
-    decomposition = *options.precomputed_chains;
-    MC_CHECK(ValidateChainDecomposition(points, decomposition))
-        << "precomputed_chains is not a valid decomposition of the input";
-  } else if (options.use_greedy_chains) {
-    decomposition = GreedyChainDecomposition(points);
-  } else if (options.use_fast_2d_chains && points.dimension() == 2) {
-    decomposition = MinimumChainDecomposition2D(points);
-  } else {
-    decomposition = MinimumChainDecomposition(points);
+  {
+    MC_SPAN("active/chain_decomposition");
+    if (options.precomputed_chains.has_value()) {
+      decomposition = *options.precomputed_chains;
+      MC_CHECK(ValidateChainDecomposition(points, decomposition))
+          << "precomputed_chains is not a valid decomposition of the input";
+    } else if (options.use_greedy_chains) {
+      decomposition = GreedyChainDecomposition(points);
+    } else if (options.use_fast_2d_chains && points.dimension() == 2) {
+      decomposition = MinimumChainDecomposition2D(points);
+    } else {
+      decomposition = MinimumChainDecomposition(points);
+    }
   }
   // Minimality is audited where each decomposition is produced; here only
   // the partition/ordering invariants matter (they make step 2 sound).
@@ -42,14 +48,20 @@ ActiveSolveResult SolveActiveMultiD(const PointSet& points,
   ActiveSolveResult result{
       .classifier = MonotoneClassifier::AlwaysZero(points.dimension())};
   result.num_chains = decomposition.NumChains();
+  MC_GAUGE("active.chains", decomposition.NumChains());
 
   // Step 2: the 1D algorithm per chain. Each chain gets an independent RNG
   // stream and an equal share delta/w of the failure budget.
+  obs::ProbeBudget budget(points.size(), decomposition.NumChains(),
+                          options.sampling.epsilon, options.sampling.delta);
   ActiveSamplingParams chain_params = options.sampling;
   chain_params.delta =
       options.sampling.delta / static_cast<double>(decomposition.NumChains());
   Rng root_rng(options.seed);
-  for (const auto& chain : decomposition.chains) {
+  for (size_t c = 0; c < decomposition.chains.size(); ++c) {
+    const auto& chain = decomposition.chains[c];
+    MC_SPAN("active/chain_solve");
+    const size_t chain_probes_before = oracle.NumProbes();
     std::vector<double> coordinates(chain.size());
     for (size_t r = 0; r < chain.size(); ++r) {
       coordinates[r] = static_cast<double>(r);  // rank along the chain
@@ -62,6 +74,7 @@ ActiveSolveResult SolveActiveMultiD(const PointSet& points,
     for (const WeightedSampleEntry& entry : chain_result.sigma) {
       result.sigma.Add(points[entry.point_index], entry.label, entry.weight);
     }
+    budget.RecordChain(c, oracle.NumProbes() - chain_probes_before);
   }
 
   // Step 3: passive weighted solve on Sigma (Theorem 3 reduction). The
@@ -72,6 +85,8 @@ ActiveSolveResult SolveActiveMultiD(const PointSet& points,
   result.classifier = passive.classifier;
   result.sigma_error = passive.optimal_weighted_error;
   result.probes = oracle.NumProbes() - probes_before;
+  budget.RecordTotal(result.probes);
+  result.probe_budget = budget.Report();
   // Union of per-chain samples covers every point exactly once (eq. (30)).
   MC_AUDIT(AuditWeightedSample(result.sigma,
                                static_cast<double>(points.size())));

@@ -26,6 +26,7 @@
 #include "core/chain_decomposition.h"
 #include "core/classifier.h"
 #include "core/dataset.h"
+#include "obs/probe_budget.h"
 #include "passive/flow_solver.h"
 
 namespace monoclass {
@@ -64,6 +65,9 @@ struct ActiveSolveResult {
   // Diagnostics aggregated over chains.
   size_t total_levels = 0;
   size_t full_probe_levels = 0;
+  // Probe account of this run against the instantiated Theorem 2 bound
+  // (per-chain breakdown included; see obs/probe_budget.h).
+  obs::ProbeBudgetReport probe_budget;
 };
 
 // Solves Problem 1 on the points behind `oracle`. `points` supplies the

@@ -10,6 +10,7 @@
 #include "active/error_curve.h"
 #include "active/estimator.h"
 #include "active/sample_audit.h"
+#include "obs/obs.h"
 #include "passive/isotonic_1d.h"
 #include "util/audit.h"
 
@@ -45,6 +46,8 @@ class OneDSolver {
     for (size_t i = 0; i < all.size(); ++i) all[i] = i;
     SolveLevels(std::move(all));
     MC_AUDIT(AuditWeightedSample(result_.sigma, point_indices_, coordinates_));
+    MC_COUNTER("active.one_d.levels", result_.levels);
+    MC_COUNTER("active.one_d.full_probe_levels", result_.full_probe_levels);
 
     // Final selection: the threshold minimizing w-err over Sigma
     // (Lemma 13 equates that with minimizing f, which by the
@@ -80,6 +83,8 @@ class OneDSolver {
   // Draws `count` positions with replacement from `level`, probing each.
   std::vector<LabeledDraw> SampleLevel(const std::vector<size_t>& level,
                                 size_t count) {
+    MC_COUNTER("active.one_d.sampling_rounds", 1);
+    MC_HISTOGRAM("active.one_d.sample_size", count);
     std::vector<LabeledDraw> draws(count);
     for (auto& draw : draws) {
       const size_t pos =
@@ -104,6 +109,7 @@ class OneDSolver {
       const size_t m = level.size();
       if (m == 0) return;
       ++result_.levels;
+      MC_HISTOGRAM("active.one_d.level_size", m);
 
       const double phi = params_.epsilon * params_.phi_fraction;
       const size_t sample_size = Lemma5SampleSize(

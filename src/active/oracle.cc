@@ -3,6 +3,8 @@
 
 #include "active/oracle.h"
 
+#include "obs/obs.h"
+
 namespace monoclass {
 
 InMemoryOracle::InMemoryOracle(const LabeledPointSet& set)
@@ -11,9 +13,11 @@ InMemoryOracle::InMemoryOracle(const LabeledPointSet& set)
 Label InMemoryOracle::Probe(size_t index) {
   MC_CHECK_LT(index, set_->size());
   ++probe_calls_;
+  MC_COUNTER("oracle.probe_calls", 1);
   if (!revealed_[index]) {
     revealed_[index] = true;
     ++distinct_probes_;
+    MC_COUNTER("oracle.probes_distinct", 1);
   }
   return set_->label(index);
 }
@@ -42,11 +46,14 @@ NoisyOracle::NoisyOracle(const LabeledPointSet& set, double flip_probability,
 Label NoisyOracle::Probe(size_t index) {
   MC_CHECK_LT(index, set_->size());
   ++probe_calls_;
+  MC_COUNTER("oracle.probe_calls", 1);
   if (state_[index] == 0) {
     ++distinct_probes_;
+    MC_COUNTER("oracle.probes_distinct", 1);
     if (rng_.Bernoulli(flip_probability_)) {
       state_[index] = 2;
       ++num_lies_;
+      MC_COUNTER("oracle.lies", 1);
     } else {
       state_[index] = 1;
     }

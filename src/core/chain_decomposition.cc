@@ -9,11 +9,13 @@
 #include "core/dominance.h"
 #include "core/invariant_audit.h"
 #include "graph/path_cover.h"
+#include "obs/obs.h"
 #include "util/audit.h"
 
 namespace monoclass {
 
 ChainDecomposition MinimumChainDecomposition(const PointSet& points) {
+  MC_SPAN("core/min_chain_decomposition");
   ChainDecomposition decomposition;
   if (points.empty()) return decomposition;
   const DagAdjacency dag = BuildDominanceDag(points);
@@ -23,10 +25,12 @@ ChainDecomposition MinimumChainDecomposition(const PointSet& points) {
   }
   MC_AUDIT(AuditChainDecomposition(points, decomposition,
                                    /*expect_minimum=*/true));
+  MC_HISTOGRAM("core.chain_count", decomposition.NumChains());
   return decomposition;
 }
 
 ChainDecomposition GreedyChainDecomposition(const PointSet& points) {
+  MC_SPAN("core/greedy_chain_decomposition");
   ChainDecomposition decomposition;
   if (points.empty()) return decomposition;
 

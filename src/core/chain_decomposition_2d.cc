@@ -9,11 +9,13 @@
 #include <vector>
 
 #include "core/invariant_audit.h"
+#include "obs/obs.h"
 #include "util/audit.h"
 
 namespace monoclass {
 
 ChainDecomposition MinimumChainDecomposition2D(const PointSet& points) {
+  MC_SPAN("core/min_chain_decomposition_2d");
   ChainDecomposition decomposition;
   if (points.empty()) return decomposition;
   MC_CHECK_EQ(points.dimension(), 2u)
@@ -55,6 +57,7 @@ ChainDecomposition MinimumChainDecomposition2D(const PointSet& points) {
   }
   MC_AUDIT(AuditChainDecomposition(points, decomposition,
                                    /*expect_minimum=*/true));
+  MC_HISTOGRAM("core.chain_count", decomposition.NumChains());
   return decomposition;
 }
 

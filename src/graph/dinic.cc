@@ -7,6 +7,8 @@
 #include <deque>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace monoclass {
 
 bool DinicSolver::BuildLevels(const FlowNetwork& network, int source,
@@ -62,14 +64,17 @@ double DinicSolver::Solve(FlowNetwork& network, int source, int sink) {
   MC_CHECK(network.IsValidVertex(sink));
   MC_CHECK_NE(source, sink);
 
+  MC_SPAN("graph/dinic_solve");
   double total_flow = 0.0;
   while (BuildLevels(network, source, sink)) {
+    MC_COUNTER("maxflow.dinic.phases", 1);
     next_edge_.assign(static_cast<size_t>(network.NumVertices()), 0);
     while (true) {
       const double sent = Augment(network, source, sink,
                                   std::numeric_limits<double>::infinity());
       if (sent <= kFlowEps) break;
       total_flow += sent;
+      MC_COUNTER("maxflow.dinic.augmenting_paths", 1);
     }
   }
   return total_flow;

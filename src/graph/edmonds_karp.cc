@@ -8,12 +8,15 @@
 #include <limits>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace monoclass {
 
 double EdmondsKarpSolver::Solve(FlowNetwork& network, int source, int sink) {
   MC_CHECK(network.IsValidVertex(source));
   MC_CHECK(network.IsValidVertex(sink));
   MC_CHECK_NE(source, sink);
+  MC_SPAN("graph/edmonds_karp_solve");
 
   const auto num_vertices = static_cast<size_t>(network.NumVertices());
   double total_flow = 0.0;
@@ -65,6 +68,7 @@ double EdmondsKarpSolver::Solve(FlowNetwork& network, int source, int sink) {
       v = u;
     }
     total_flow += bottleneck;
+    MC_COUNTER("maxflow.ek.augmenting_paths", 1);
   }
   return total_flow;
 }

@@ -6,6 +6,8 @@
 #include <deque>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace monoclass {
 namespace {
 
@@ -97,30 +99,37 @@ Matching EmptyMatching(const BipartiteGraph& graph) {
 }  // namespace
 
 Matching HopcroftKarpMatching(const BipartiteGraph& graph) {
+  MC_SPAN("graph/hopcroft_karp");
   Matching matching = EmptyMatching(graph);
   std::vector<int> dist(static_cast<size_t>(graph.NumLeft()));
   std::vector<size_t> next_edge(static_cast<size_t>(graph.NumLeft()));
   while (HopcroftKarpBfs(graph, matching, dist)) {
+    MC_COUNTER("graph.matching.hk_phases", 1);
     std::fill(next_edge.begin(), next_edge.end(), size_t{0});
     for (int l = 0; l < graph.NumLeft(); ++l) {
       if (matching.left_to_right[static_cast<size_t>(l)] == kUnmatched &&
           HopcroftKarpDfs(graph, matching, dist, next_edge, l)) {
         ++matching.size;
+        MC_COUNTER("graph.matching.augmentations", 1);
       }
     }
   }
+  MC_HISTOGRAM("graph.matching.size", matching.size);
   return matching;
 }
 
 Matching KuhnMatching(const BipartiteGraph& graph) {
+  MC_SPAN("graph/kuhn");
   Matching matching = EmptyMatching(graph);
   std::vector<bool> visited_right(static_cast<size_t>(graph.NumRight()));
   for (int l = 0; l < graph.NumLeft(); ++l) {
     std::fill(visited_right.begin(), visited_right.end(), false);
     if (KuhnTryAugment(graph, matching, visited_right, l)) {
       ++matching.size;
+      MC_COUNTER("graph.matching.augmentations", 1);
     }
   }
+  MC_HISTOGRAM("graph.matching.size", matching.size);
   return matching;
 }
 

@@ -7,6 +7,8 @@
 #include <deque>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace monoclass {
 namespace {
 
@@ -23,6 +25,11 @@ struct PushRelabelState {
   std::vector<size_t> current_arc;
   // height_count[h] = number of vertices at height h (gap heuristic).
   std::vector<int> height_count;
+  // Operation tallies, flushed to the obs registry once per Solve() so
+  // the discharge loop never touches an atomic.
+  size_t pushes = 0;
+  size_t relabels = 0;
+  size_t gap_rescues = 0;
 
   PushRelabelState(FlowNetwork& net, int src, int snk)
       : network(net),
@@ -82,6 +89,7 @@ struct PushRelabelState {
 
   // Pushes min(excess, residual) along the given admissible edge.
   void Push(int u, FlowNetwork::Edge& edge) {
+    ++pushes;
     const double amount =
         std::min(excess[static_cast<size_t>(u)], edge.residual);
     edge.residual -= amount;
@@ -93,6 +101,7 @@ struct PushRelabelState {
   // Lifts u to 1 + min height over residual out-neighbors; applies the gap
   // heuristic when u's old height level empties.
   void Relabel(int u) {
+    ++relabels;
     const int old_height = height[static_cast<size_t>(u)];
     int min_neighbor = 2 * num_vertices;
     for (const auto& edge : network.adjacency(u)) {
@@ -111,6 +120,7 @@ struct PushRelabelState {
         old_height < num_vertices) {
       // Gap heuristic: no vertex can route to the sink through the empty
       // level, so lift everything stranded above it past V.
+      ++gap_rescues;
       for (int v = 0; v < num_vertices; ++v) {
         const int h = height[static_cast<size_t>(v)];
         if (h > old_height && h < num_vertices && v != source) {
@@ -211,11 +221,17 @@ double PushRelabelSolver::Solve(FlowNetwork& network, int source, int sink) {
   MC_CHECK(network.IsValidVertex(sink));
   MC_CHECK_NE(source, sink);
 
+  MC_SPAN("graph/push_relabel_solve");
   PushRelabelState state(network, source, sink);
   state.InitializeHeights();
   state.SaturateSource();
-  return rule_ == SelectionRule::kFifo ? SolveFifo(state)
-                                       : SolveHighestLabel(state);
+  const double flow = rule_ == SelectionRule::kFifo
+                          ? SolveFifo(state)
+                          : SolveHighestLabel(state);
+  MC_COUNTER("maxflow.pr.pushes", state.pushes);
+  MC_COUNTER("maxflow.pr.relabels", state.relabels);
+  MC_COUNTER("maxflow.pr.gap_rescues", state.gap_rescues);
+  return flow;
 }
 
 }  // namespace monoclass

@@ -10,6 +10,9 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/obs.h"
+#include "util/json.h"
+
 namespace monoclass {
 namespace {
 
@@ -296,6 +299,36 @@ std::optional<MonotoneClassifier> ReadClassifierFile(
     return std::nullopt;
   }
   return ReadClassifier(in, error);
+}
+
+RunManifest MakeRunManifest(const std::string& experiment,
+                            const std::string& artifact,
+                            const std::string& claim) {
+  RunManifest manifest;
+  manifest.experiment = experiment;
+  manifest.artifact = artifact;
+  manifest.claim = claim;
+  manifest.git_sha = obs::BuildGitSha();
+  manifest.build_type = obs::BuildType();
+  manifest.obs_enabled = obs::Enabled();
+  return manifest;
+}
+
+void WriteRunManifestJson(const RunManifest& manifest, std::ostream& out) {
+  out << "{\"experiment\":\"" << JsonEscape(manifest.experiment)
+      << "\",\"artifact\":\"" << JsonEscape(manifest.artifact)
+      << "\",\"claim\":\"" << JsonEscape(manifest.claim)
+      << "\",\"git_sha\":\"" << JsonEscape(manifest.git_sha)
+      << "\",\"build_type\":\"" << JsonEscape(manifest.build_type)
+      << "\",\"obs_enabled\":" << (manifest.obs_enabled ? "true" : "false")
+      << ",\"params\":{";
+  bool first = true;
+  for (const auto& [key, value] : manifest.params) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+  }
+  out << "}}";
 }
 
 }  // namespace monoclass

@@ -24,6 +24,8 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/classifier.h"
 #include "core/dataset.h"
@@ -57,6 +59,33 @@ bool WriteClassifierFile(const MonotoneClassifier& classifier,
                          const std::string& path);
 std::optional<MonotoneClassifier> ReadClassifierFile(
     const std::string& path, std::string* error = nullptr);
+
+// --- run manifests ---
+
+// Provenance record attached to every machine-readable experiment
+// output (BENCH_*.json, traces): what ran, from which build, with which
+// parameters. Defaults for git_sha / build_type come from the obs build
+// metadata via MakeRunManifest().
+struct RunManifest {
+  std::string experiment;   // experiment id, e.g. "E2"
+  std::string artifact;     // paper artifact under test
+  std::string claim;        // claim the experiment exercises
+  std::string git_sha;      // short SHA of the build ("unknown" if absent)
+  std::string build_type;   // CMAKE_BUILD_TYPE of the build
+  bool obs_enabled = false; // whether the obs runtime switch was on
+  // Free-form string parameters (seed, n range, solver name, ...).
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+// Builds a manifest pre-filled with build metadata and the current obs
+// runtime state.
+RunManifest MakeRunManifest(const std::string& experiment,
+                            const std::string& artifact,
+                            const std::string& claim);
+
+// Writes the manifest as a JSON object (keys: experiment, artifact,
+// claim, git_sha, build_type, obs_enabled, params).
+void WriteRunManifestJson(const RunManifest& manifest, std::ostream& out);
 
 }  // namespace monoclass
 

@@ -48,6 +48,13 @@
 #include "data/synthetic.h"
 #include "io/serialization.h"
 
+// Observability: metrics registry, trace spans, probe-budget accounting
+// (see docs/observability.md).
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/probe_budget.h"
+#include "obs/trace.h"
+
 // Graph substrate (exposed for users who need max flow / matching
 // directly), including the individual solver classes.
 #include "graph/dinic.h"
@@ -62,6 +69,7 @@
 // bookkeeping.
 #include "util/audit.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/table.h"

@@ -1,0 +1,267 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace monoclass {
+namespace obs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Lock-free min/max via compare-exchange (contention is rare: histograms
+// record per-phase aggregates, not per-element events).
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN land in the bottom bucket
+  const int exponent = std::ilogb(value);
+  const int bucket = exponent + kBucketBias;
+  if (bucket < 0) return 0;
+  if (bucket >= kNumBuckets) return kNumBuckets - 1;
+  return bucket;
+}
+
+void Histogram::Observe(double value) {
+  const uint64_t previous = count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  if (previous == 0) {
+    // First observation seeds min/max; racing observers converge through
+    // the CAS loops below.
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+    expected = 0.0;
+    max_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::Min() const {
+  return Count() == 0 ? kInf : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Max() const {
+  return Count() == 0 ? -kInf : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+uint64_t Histogram::BucketCount(int bucket) const {
+  MC_CHECK_GE(bucket, 0);
+  MC_CHECK_LT(bucket, kNumBuckets);
+  return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  const MetricSample* sample = Find(name);
+  if (sample == nullptr || sample->kind != MetricSample::Kind::kCounter) {
+    return 0;
+  }
+  return static_cast<uint64_t>(sample->value);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MC_CHECK(gauges_.find(name) == gauges_.end() &&
+           histograms_.find(name) == histograms_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MC_CHECK(counters_.find(name) == counters_.end() &&
+           histograms_.find(name) == histograms_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MC_CHECK(counters_.find(name) == counters_.end() &&
+           gauges_.find(name) == gauges_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.samples.reserve(counters_.size() + gauges_.size() +
+                           histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kCounter;
+    sample.value = static_cast<double>(counter->Value());
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kGauge;
+    sample.value = gauge->Value();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kHistogram;
+    sample.count = histogram->Count();
+    sample.sum = histogram->Sum();
+    sample.value = histogram->Mean();
+    sample.min = sample.count == 0 ? 0.0 : histogram->Min();
+    sample.max = sample.count == 0 ? 0.0 : histogram->Max();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  // The three maps are each sorted; a final sort merges them by name.
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  WriteSnapshotJson(Snapshot(), out);
+}
+
+void MetricsRegistry::WriteText(std::ostream& out) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  size_t width = 0;
+  for (const MetricSample& sample : snapshot.samples) {
+    width = std::max(width, sample.name.size());
+  }
+  for (const MetricSample& sample : snapshot.samples) {
+    out << sample.name << std::string(width - sample.name.size() + 2, ' ');
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out << static_cast<uint64_t>(sample.value) << " (counter)";
+        break;
+      case MetricSample::Kind::kGauge:
+        out << sample.value << " (gauge)";
+        break;
+      case MetricSample::Kind::kHistogram:
+        out << "count=" << sample.count << " sum=" << sample.sum
+            << " min=" << sample.min << " max=" << sample.max
+            << " mean=" << sample.value << " (histogram)";
+        break;
+    }
+    out << "\n";
+  }
+}
+
+void WriteSnapshotJson(const MetricsSnapshot& snapshot, std::ostream& out) {
+  auto write_section = [&](MetricSample::Kind kind, const char* label,
+                           bool trailing_comma) {
+    out << "\"" << label << "\": {";
+    bool first = true;
+    for (const MetricSample& sample : snapshot.samples) {
+      if (sample.kind != kind) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << JsonEscape(sample.name) << "\": ";
+      if (kind == MetricSample::Kind::kHistogram) {
+        out << "{\"count\": " << sample.count
+            << ", \"sum\": " << JsonNumber(sample.sum)
+            << ", \"min\": " << JsonNumber(sample.min)
+            << ", \"max\": " << JsonNumber(sample.max)
+            << ", \"mean\": " << JsonNumber(sample.value) << "}";
+      } else if (kind == MetricSample::Kind::kCounter) {
+        out << static_cast<uint64_t>(sample.value);
+      } else {
+        out << JsonNumber(sample.value);
+      }
+    }
+    out << "}";
+    if (trailing_comma) out << ", ";
+  };
+  out << "{";
+  write_section(MetricSample::Kind::kCounter, "counters", true);
+  write_section(MetricSample::Kind::kGauge, "gauges", true);
+  write_section(MetricSample::Kind::kHistogram, "histograms", false);
+  out << "}";
+}
+
+}  // namespace obs
+}  // namespace monoclass

@@ -1,0 +1,151 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Process-wide metrics registry: named counters, gauges and log-bucket
+// histograms behind the MC_COUNTER / MC_GAUGE / MC_HISTOGRAM macros
+// (see obs/obs.h for the gating rules).
+//
+// Design constraints, in order:
+//   * O(1), thread-safe hot path -- updates are single relaxed atomics;
+//     the name lookup happens once per macro expansion site (cached in a
+//     function-local static).
+//   * stable pointers -- GetCounter() results stay valid for the process
+//     lifetime; ResetAll() zeroes values without invalidating them.
+//   * allocation-free updates -- allocation happens only on first
+//     registration of a name.
+
+#ifndef MONOCLASS_OBS_METRICS_H_
+#define MONOCLASS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monoclass {
+namespace obs {
+
+// Monotone counter.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-value gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Histogram over doubles with power-of-two buckets: bucket b counts
+// observations v with 2^(b-kBucketBias) <= |v| < 2^(b-kBucketBias+1)
+// (bucket 0 additionally absorbs v <= 0 and denormals). Tracks count,
+// sum, min and max exactly; the buckets give shape at ~2x resolution,
+// which is enough for "how skewed are the level sizes" questions.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kBucketBias = 16;  // bucket 16 covers [1, 2)
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Min() const;  // +inf when empty
+  double Max() const;  // -inf when empty
+  double Mean() const;
+  uint64_t BucketCount(int bucket) const;
+
+  // Index of the bucket `value` lands in (exposed for tests).
+  static int BucketIndex(double value);
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+// One metric in a point-in-time snapshot.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;     // counter or gauge value; histogram mean
+  uint64_t count = 0;     // histogram observation count
+  double sum = 0.0;       // histogram sum
+  double min = 0.0;       // histogram min (0 when empty)
+  double max = 0.0;       // histogram max (0 when empty)
+};
+
+// Snapshot of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  // The sample with the given name, or nullptr.
+  const MetricSample* Find(std::string_view name) const;
+  // Counter value by name; 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+};
+
+// The process-wide registry. Lookup methods create on first use; a name
+// registered as one kind cannot be re-requested as another (MC_CHECK).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every metric; pointers handed out earlier stay valid.
+  void ResetAll();
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name:
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..}}}
+  void WriteJson(std::ostream& out) const;
+
+  // Aligned name/value table for terminal output.
+  void WriteText(std::ostream& out) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // std::map keeps iteration sorted and node pointers stable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Writes a snapshot as the same JSON object WriteJson emits (used by the
+// bench reporter to embed per-phase deltas).
+void WriteSnapshotJson(const MetricsSnapshot& snapshot, std::ostream& out);
+
+}  // namespace obs
+}  // namespace monoclass
+
+#endif  // MONOCLASS_OBS_METRICS_H_

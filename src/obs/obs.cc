@@ -1,0 +1,62 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "obs/obs.h"
+
+#include <cstdlib>
+
+#include "obs/trace.h"
+
+#ifndef MONOCLASS_GIT_SHA
+#define MONOCLASS_GIT_SHA "unknown"
+#endif
+#ifndef MONOCLASS_BUILD_TYPE
+#define MONOCLASS_BUILD_TYPE "unknown"
+#endif
+
+namespace monoclass {
+namespace obs {
+namespace internal {
+
+std::atomic<int> g_enabled_state{-1};
+
+namespace {
+
+bool EnvTruthy(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return false;
+  const std::string v(value);
+  return v == "1" || v == "on" || v == "ON" || v == "true" || v == "TRUE";
+}
+
+}  // namespace
+
+bool InitEnabledFromEnv() {
+  const bool enabled = EnvTruthy("MONOCLASS_OBS");
+  int expected = -1;
+  g_enabled_state.compare_exchange_strong(expected, enabled ? 1 : 0,
+                                          std::memory_order_relaxed);
+  return g_enabled_state.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled_state.store(enabled ? 1 : 0,
+                                  std::memory_order_relaxed);
+}
+
+void InitFromEnv() {
+  Enabled();  // resolves MONOCLASS_OBS if still unset
+  if (internal::EnvTruthy("MONOCLASS_TRACE")) {
+    SetEnabled(true);  // a trace without metrics is rarely what's wanted
+    StartTracing();
+  }
+}
+
+std::string BuildGitSha() { return MONOCLASS_GIT_SHA; }
+
+std::string BuildType() { return MONOCLASS_BUILD_TYPE; }
+
+}  // namespace obs
+}  // namespace monoclass

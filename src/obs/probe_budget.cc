@@ -1,0 +1,68 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "obs/probe_budget.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace monoclass {
+namespace obs {
+
+ProbeBudget::ProbeBudget(size_t n, size_t w, double epsilon, double delta) {
+  MC_CHECK_GE(n, size_t{1});
+  MC_CHECK_GE(w, size_t{1});
+  MC_CHECK_LE(w, n);
+  MC_CHECK_GT(epsilon, 0.0);
+  report_.n = n;
+  report_.w = w;
+  report_.epsilon = epsilon;
+  report_.delta = delta;
+  report_.theorem2_bound = Theorem2Bound(n, w, epsilon);
+  report_.per_chain_probes.assign(w, 0);
+}
+
+double ProbeBudget::Theorem2Bound(size_t n, size_t w, double epsilon) {
+  MC_CHECK_GE(n, size_t{1});
+  MC_CHECK_GE(w, size_t{1});
+  MC_CHECK_GT(epsilon, 0.0);
+  const double dn = static_cast<double>(n);
+  const double dw = static_cast<double>(w);
+  const double log_n = std::max(1.0, std::log2(dn));
+  const double log_n_over_w = std::max(1.0, std::log2(dn / dw));
+  return (dw / (epsilon * epsilon)) * log_n * log_n_over_w;
+}
+
+void ProbeBudget::RecordChain(size_t chain_index, size_t probes) {
+  MC_CHECK_LT(chain_index, report_.per_chain_probes.size());
+  report_.per_chain_probes[chain_index] = probes;
+}
+
+void ProbeBudget::RecordTotal(size_t probes) {
+  report_.measured_probes = probes;
+}
+
+ProbeBudgetReport ProbeBudget::Report() const {
+  ProbeBudgetReport report = report_;
+  report.utilization =
+      static_cast<double>(report.measured_probes) / report.theorem2_bound;
+  MC_GAUGE("active.probe_budget.bound", report.theorem2_bound);
+  MC_GAUGE("active.probe_budget.measured",
+           static_cast<double>(report.measured_probes));
+  MC_GAUGE("active.probe_budget.utilization", report.utilization);
+  return report;
+}
+
+std::string ProbeBudgetReport::ToString() const {
+  std::ostringstream out;
+  out << "probes " << measured_probes << " / bound " << theorem2_bound
+      << " (utilization " << utilization << ", n=" << n << ", w=" << w
+      << ", eps=" << epsilon << ")";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace monoclass

@@ -1,0 +1,76 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Probe-budget accounting for the active pipeline: records the probes an
+// actual run spent (overall and per chain) and reports them against the
+// instantiated Theorem 2 bound
+//
+//     probes = O((w / eps^2) * log n * log(n / w)),
+//
+// where n = |P| and w = number of chains. The bound is evaluated with
+// constant 1 and base-2 logarithms, so the reported utilization is a
+// *shape* comparison (the paper hides a constant); what regressions care
+// about is that utilization stays bounded as n, w, eps sweep -- the
+// Theorem 2 sanity test pins exactly that on seeded inputs.
+//
+// The accountant is plain arithmetic (O(w) state, no clocks), so it runs
+// unconditionally -- multi_d always fills it into ActiveSolveResult. The
+// obs registry export (gauges under active.probe_budget.*) is gated like
+// every other metric.
+
+#ifndef MONOCLASS_OBS_PROBE_BUDGET_H_
+#define MONOCLASS_OBS_PROBE_BUDGET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace monoclass {
+namespace obs {
+
+// The filled-in account of one active run.
+struct ProbeBudgetReport {
+  size_t n = 0;                // |P|
+  size_t w = 0;                // chains in the decomposition
+  double epsilon = 1.0;
+  double delta = 0.0;
+  double theorem2_bound = 0.0;  // (w/eps^2) * log2(n) * log2(n/w), >= 1
+  size_t measured_probes = 0;   // distinct points revealed by the run
+  std::vector<size_t> per_chain_probes;
+  // measured / bound; < some constant C for a faithful implementation.
+  double utilization = 0.0;
+
+  // "probes 123 / bound 456.7 (utilization 0.27, n=.., w=.., eps=..)"
+  std::string ToString() const;
+};
+
+class ProbeBudget {
+ public:
+  // n >= 1, 1 <= w <= n, epsilon in (0, 1].
+  ProbeBudget(size_t n, size_t w, double epsilon, double delta);
+
+  // The instantiated Theorem 2 bound with constant 1: log factors are
+  // base-2 and clamped to >= 1 so the bound is positive even for tiny
+  // inputs (n < 4 or w = n).
+  static double Theorem2Bound(size_t n, size_t w, double epsilon);
+
+  // Distinct probes attributed to chain `chain_index` (call once per
+  // chain, in any order).
+  void RecordChain(size_t chain_index, size_t probes);
+
+  // Total distinct probes of the run (>= the per-chain sum; the passive
+  // stage adds none, so in practice they are equal).
+  void RecordTotal(size_t probes);
+
+  // Snapshot of the account. Also exports active.probe_budget.* gauges
+  // to the metrics registry when obs is enabled.
+  ProbeBudgetReport Report() const;
+
+ private:
+  ProbeBudgetReport report_;
+};
+
+}  // namespace obs
+}  // namespace monoclass
+
+#endif  // MONOCLASS_OBS_PROBE_BUDGET_H_

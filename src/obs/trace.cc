@@ -1,0 +1,191 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "util/json.h"
+
+namespace monoclass {
+namespace obs {
+namespace {
+
+// Bounded so a runaway span loop cannot exhaust memory; ~48 bytes per
+// event puts the cap at ~50 MB.
+constexpr size_t kMaxTraceEvents = size_t{1} << 20;
+
+std::atomic<bool> g_tracing{false};
+std::atomic<uint64_t> g_dropped{0};
+
+std::mutex& BufferMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<TraceEvent>& Buffer() {
+  static std::vector<TraceEvent>* buffer = new std::vector<TraceEvent>();
+  return *buffer;
+}
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point TraceEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+// Appends one event; returns false when the buffer is full.
+bool Record(const char* name, char phase) {
+  std::lock_guard<std::mutex> lock(BufferMutex());
+  std::vector<TraceEvent>& buffer = Buffer();
+  if (phase == 'B' && buffer.size() >= kMaxTraceEvents) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.phase = phase;
+  event.ts_us = NowMicros();
+  event.tid = CurrentThreadId();
+  buffer.push_back(event);
+  return true;
+}
+
+}  // namespace
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   TraceEpoch())
+      .count();
+}
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void StartTracing() {
+  TraceEpoch();  // pin the epoch no later than the first span
+  g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() { g_tracing.store(false, std::memory_order_relaxed); }
+
+bool TracingActive() { return g_tracing.load(std::memory_order_relaxed); }
+
+void ClearTrace() {
+  std::lock_guard<std::mutex> lock(BufferMutex());
+  Buffer().clear();
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+uint64_t DroppedSpans() { return g_dropped.load(std::memory_order_relaxed); }
+
+std::vector<TraceEvent> TraceSnapshot() {
+  std::lock_guard<std::mutex> lock(BufferMutex());
+  return Buffer();
+}
+
+void WriteChromeTrace(std::ostream& out) {
+  const std::vector<TraceEvent> events = TraceSnapshot();
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << JsonEscape(event.name)
+        << "\", \"cat\": \"monoclass\", \"ph\": \"" << event.phase
+        << "\", \"ts\": " << JsonNumber(event.ts_us)
+        << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void WriteTextReport(std::ostream& out) {
+  const std::vector<TraceEvent> events = TraceSnapshot();
+
+  // Replay the B/E stream per thread, aggregating by full stack path.
+  struct PathStats {
+    uint64_t count = 0;
+    double total_us = 0.0;
+    double child_us = 0.0;
+  };
+  std::map<std::string, PathStats> stats;
+  struct Frame {
+    std::string path;
+    double start_us = 0.0;
+    double child_us = 0.0;
+  };
+  std::map<uint32_t, std::vector<Frame>> stacks;
+
+  for (const TraceEvent& event : events) {
+    std::vector<Frame>& stack = stacks[event.tid];
+    if (event.phase == 'B') {
+      Frame frame;
+      frame.path = stack.empty() ? std::string(event.name)
+                                 : stack.back().path + "/" + event.name;
+      frame.start_us = event.ts_us;
+      stack.push_back(std::move(frame));
+    } else if (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      const double duration = event.ts_us - frame.start_us;
+      PathStats& s = stats[frame.path];
+      ++s.count;
+      s.total_us += duration;
+      s.child_us += frame.child_us;
+      if (!stack.empty()) stack.back().child_us += duration;
+    }
+  }
+
+  size_t width = 0;
+  for (const auto& [path, s] : stats) width = std::max(width, path.size());
+  out << "span" << std::string(width < 4 ? 2 : width - 4 + 2, ' ')
+      << "count    total-ms     self-ms\n";
+  char line[64];
+  for (const auto& [path, s] : stats) {
+    std::snprintf(line, sizeof(line), "%8llu  %10.3f  %10.3f",
+                  static_cast<unsigned long long>(s.count), s.total_us / 1e3,
+                  (s.total_us - s.child_us) / 1e3);
+    out << path << std::string(width - path.size() + 2, ' ') << line << "\n";
+  }
+  if (DroppedSpans() > 0) {
+    out << "(" << DroppedSpans() << " span(s) dropped: buffer full)\n";
+  }
+}
+
+Span::Span(const char* name) : name_(name), recorded_(false) {
+  if (TracingActive()) recorded_ = Record(name_, 'B');
+}
+
+Span::~Span() {
+  // The E event is recorded even if tracing stopped mid-span, so every
+  // recorded B has a matching E.
+  if (recorded_) Record(name_, 'E');
+}
+
+SpanTimer::SpanTimer(const char* name)
+    : name_(name), start_us_(NowMicros()), recorded_(false) {
+  if (TracingActive()) recorded_ = Record(name_, 'B');
+}
+
+SpanTimer::~SpanTimer() {
+  if (recorded_) Record(name_, 'E');
+}
+
+double SpanTimer::ElapsedMillis() const {
+  return (NowMicros() - start_us_) / 1e3;
+}
+
+}  // namespace obs
+}  // namespace monoclass

@@ -8,6 +8,7 @@
 
 #include "core/invariant_audit.h"
 #include "graph/flow_audit.h"
+#include "obs/obs.h"
 #include "passive/contending.h"
 #include "util/audit.h"
 
@@ -23,14 +24,19 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
                                         const PassiveSolveOptions& options) {
   MC_CHECK(!set.empty());
   const size_t n = set.size();
+  MC_SPAN("passive/solve");
+  MC_HISTOGRAM("passive.points", n);
 
   // Step 1: the point indices that participate in the network.
   std::vector<size_t> active;
-  if (options.reduce_to_contending) {
-    active = ComputeContending(set.points(), set.labels()).contending;
-  } else {
-    active.resize(n);
-    std::iota(active.begin(), active.end(), size_t{0});
+  {
+    MC_SPAN("passive/contending");
+    if (options.reduce_to_contending) {
+      active = ComputeContending(set.points(), set.labels()).contending;
+    } else {
+      active.resize(n);
+      std::iota(active.begin(), active.end(), size_t{0});
+    }
   }
 
   PassiveSolveResult result{.classifier =
@@ -39,6 +45,10 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
       options.reduce_to_contending
           ? active.size()
           : ComputeContending(set.points(), set.labels()).contending.size();
+  MC_HISTOGRAM("passive.contending_points", result.num_contending);
+  MC_GAUGE("passive.contending_fraction",
+           static_cast<double>(result.num_contending) /
+               static_cast<double>(n));
 
   // Step 2: build the network. Vertex 0 = source, 1 = sink, 2 + k = the
   // k-th active point. Type-3 edges get an effective infinity: one unit
@@ -47,36 +57,44 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   const int sink = 1;
   const double infinite_capacity = set.TotalWeight() + 1.0;
   FlowNetwork network(static_cast<int>(active.size()) + 2);
-  for (size_t k = 0; k < active.size(); ++k) {
-    const size_t i = active[k];
-    const int vertex = static_cast<int>(k) + 2;
-    if (set.label(i) == 0) {
-      network.AddEdge(source, vertex, set.weight(i));
-    } else {
-      network.AddEdge(vertex, sink, set.weight(i));
+  {
+    MC_SPAN("passive/build_network");
+    for (size_t k = 0; k < active.size(); ++k) {
+      const size_t i = active[k];
+      const int vertex = static_cast<int>(k) + 2;
+      if (set.label(i) == 0) {
+        network.AddEdge(source, vertex, set.weight(i));
+      } else {
+        network.AddEdge(vertex, sink, set.weight(i));
+      }
+      ++result.network_finite_edges;
     }
-    ++result.network_finite_edges;
-  }
-  for (size_t a = 0; a < active.size(); ++a) {
-    const size_t p = active[a];
-    if (set.label(p) != 0) continue;
-    for (size_t b = 0; b < active.size(); ++b) {
-      const size_t q = active[b];
-      if (set.label(q) != 1 || p == q) continue;
-      if (DominatesEq(set.point(p), set.point(q))) {
-        network.AddEdge(static_cast<int>(a) + 2, static_cast<int>(b) + 2,
-                        infinite_capacity);
-        ++result.network_infinite_edges;
+    for (size_t a = 0; a < active.size(); ++a) {
+      const size_t p = active[a];
+      if (set.label(p) != 0) continue;
+      for (size_t b = 0; b < active.size(); ++b) {
+        const size_t q = active[b];
+        if (set.label(q) != 1 || p == q) continue;
+        if (DominatesEq(set.point(p), set.point(q))) {
+          network.AddEdge(static_cast<int>(a) + 2, static_cast<int>(b) + 2,
+                          infinite_capacity);
+          ++result.network_infinite_edges;
+        }
       }
     }
   }
   result.network_vertices = static_cast<size_t>(network.NumVertices());
 
   // Step 3: max flow and the residual-reachability cut.
-  result.flow_value =
-      CreateMaxFlowSolver(options.algorithm)->Solve(network, source, sink);
+  {
+    MC_SPAN("passive/maxflow");
+    result.flow_value =
+        CreateMaxFlowSolver(options.algorithm)->Solve(network, source, sink);
+  }
+  MC_HISTOGRAM("passive.flow_value", result.flow_value);
   MC_AUDIT(AuditMinCut(network, source, sink, result.flow_value,
                        {.infinity_threshold = infinite_capacity}));
+  MC_SPAN("passive/extract_cut");
   const std::vector<bool> reachable = ResidualReachable(network, source);
 
   // Step 4: h*_cut(p) = 1 iff p's vertex is NOT residual-reachable. For a

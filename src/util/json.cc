@@ -1,0 +1,339 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace monoclass {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    std::optional<JsonValue> value = ParseValue();
+    if (!value.has_value()) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the document");
+    }
+    return value;
+  }
+
+ private:
+  std::optional<JsonValue> Fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return std::nullopt;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue();
+        return Fail("invalid literal");
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::MakeBool(true);
+        return Fail("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::MakeBool(false);
+        return Fail("invalid literal");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray();
+      case '{':
+        return ParseObject();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseString() {
+    std::optional<std::string> raw = ParseRawString();
+    if (!raw.has_value()) return std::nullopt;
+    return JsonValue::MakeString(*std::move(raw));
+  }
+
+  std::optional<std::string> ParseRawString() {
+    if (!Consume('"')) {
+      Fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated escape");
+        return std::nullopt;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("invalid \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed
+          // through as two separate 3-byte sequences -- good enough for
+          // the ASCII-dominated documents this repo produces).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return Fail("malformed number");
+    }
+    return JsonValue::MakeNumber(value);
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    MC_CHECK(Consume('['));
+    std::vector<JsonValue> values;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::MakeArray(std::move(values));
+    while (true) {
+      SkipWhitespace();
+      std::optional<JsonValue> value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      values.push_back(*std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return JsonValue::MakeArray(std::move(values));
+      if (!Consume(',')) return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    MC_CHECK(Consume('{'));
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      std::optional<std::string> key = ParseRawString();
+      if (!key.has_value()) return std::nullopt;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      SkipWhitespace();
+      std::optional<JsonValue> value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      members.insert_or_assign(*std::move(key), *std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text,
+                                          std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).ParseDocument();
+}
+
+bool JsonValue::AsBool() const {
+  MC_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsNumber() const {
+  MC_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  MC_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  MC_CHECK(is_array());
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  MC_CHECK(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> values) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(values);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace monoclass

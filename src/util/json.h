@@ -1,0 +1,82 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Minimal JSON support: a recursive-descent parser into a value tree,
+// plus escaping / number-formatting helpers for the hand-rolled writers
+// (obs metrics snapshots, Chrome traces, bench reports, run manifests).
+//
+// The parser accepts strict JSON (RFC 8259) with one liberty: numbers
+// are always parsed as double. It exists so the repo's tools and tests
+// can validate their own emitted JSON without an external dependency;
+// it is not a general-purpose library (no streaming, no comments, no
+// unicode re-encoding beyond \uXXXX pass-through).
+
+#ifndef MONOCLASS_UTIL_JSON_H_
+#define MONOCLASS_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace monoclass {
+
+// One node of a parsed JSON document.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses a complete document; trailing non-whitespace is an error.
+  // Returns nullopt on malformed input and, when `error` is non-null,
+  // describes the first problem (with byte offset).
+  static std::optional<JsonValue> Parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; MC_CHECK on type mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  // Object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Construction (used by tests building expected values).
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray(std::vector<JsonValue> values);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Escapes `text` for inclusion inside a JSON string literal (quotes not
+// included).
+std::string JsonEscape(std::string_view text);
+
+// Renders a double as a JSON number token; non-finite values (which JSON
+// cannot represent) become "null".
+std::string JsonNumber(double value);
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_UTIL_JSON_H_

@@ -22,7 +22,7 @@ void RunningStat::Add(double x) {
   samples_.push_back(x);
   sum_ += x;
   sum_sq_ += x * x;
-  sorted_valid_ = false;
+  pending_.push_back(x);
 }
 
 double RunningStat::Mean() const {
@@ -43,15 +43,22 @@ double RunningStat::Variance() const {
 
 double RunningStat::StdDev() const { return std::sqrt(Variance()); }
 
+void RunningStat::EnsureSorted() const {
+  if (pending_.empty()) return;
+  std::sort(pending_.begin(), pending_.end());
+  const size_t old_size = sorted_.size();
+  sorted_.insert(sorted_.end(), pending_.begin(), pending_.end());
+  std::inplace_merge(sorted_.begin(),
+                     sorted_.begin() + static_cast<ptrdiff_t>(old_size),
+                     sorted_.end());
+  pending_.clear();
+}
+
 double RunningStat::Quantile(double q) const {
   MC_CHECK_GE(q, 0.0);
   MC_CHECK_LE(q, 1.0);
   if (samples_.empty()) return 0.0;
-  if (!sorted_valid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
-  }
+  EnsureSorted();
   const double pos = q * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, sorted_.size() - 1);

@@ -15,7 +15,11 @@
 namespace monoclass {
 
 // Accumulates samples and reports mean / variance / extremes / quantiles.
-// Quantile queries sort an internal copy lazily, so Add() stays O(1).
+// Add() is O(1); Quantile() maintains a sorted view incrementally, so a
+// query after k new samples costs O(k log k + n) (merge of the pending
+// batch) rather than an O(n log n) re-sort -- interleaved Add/Quantile
+// loops, the common pattern in the bench harnesses, stay linear per
+// query.
 class RunningStat {
  public:
   RunningStat() = default;
@@ -56,13 +60,19 @@ class RunningStat {
   std::string ToString() const;
 
  private:
+  // Merges pending_ into sorted_ so sorted_ covers every sample.
+  void EnsureSorted() const;
+
   std::vector<double> samples_;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
-  mutable std::vector<double> sorted_;  // lazily rebuilt cache
-  mutable bool sorted_valid_ = false;
+  // Sorted view, maintained incrementally: Add() appends to pending_;
+  // quantile queries sort the (small) pending batch and inplace_merge it
+  // into sorted_.
+  mutable std::vector<double> sorted_;
+  mutable std::vector<double> pending_;
 };
 
 }  // namespace monoclass

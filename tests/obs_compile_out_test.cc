@@ -1,0 +1,74 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Proves the MC_* macros are fully inert when compiled out: this TU
+// defines MONOCLASS_OBS_DISABLE before any include, which turns off
+// MC_OBS_COMPILED exactly like building with -DMONOCLASS_OBS=OFF does
+// globally, so the expansion below is the compiled-out one. Macro
+// arguments must not be evaluated (no side effects) and nothing may
+// reach the metrics registry or the trace buffer even when the runtime
+// switch is on.
+
+#define MONOCLASS_OBS_DISABLE 1
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace monoclass {
+namespace obs {
+namespace {
+
+static_assert(MC_OBS_COMPILED == 0,
+              "MONOCLASS_OBS_DISABLE must compile the obs macros out");
+
+TEST(ObsCompileOutTest, MacroArgumentsNotEvaluated) {
+  SetEnabled(true);
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  MC_COUNTER("compile_out.counter", bump());
+  MC_GAUGE("compile_out.gauge", bump());
+  MC_HISTOGRAM("compile_out.histogram", bump());
+  MC_OBS(bump());
+  (void)bump;
+  EXPECT_EQ(evaluations, 0);
+  SetEnabled(false);
+}
+
+TEST(ObsCompileOutTest, NothingReachesTheRegistry) {
+  SetEnabled(true);
+  MC_COUNTER("compile_out.registry_probe", 1);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.Find("compile_out.registry_probe"), nullptr);
+  SetEnabled(false);
+}
+
+TEST(ObsCompileOutTest, SpansRecordNothing) {
+  SetEnabled(true);
+  StartTracing();
+  {
+    MC_SPAN("compile_out.span");
+    MC_SPAN("compile_out.nested");
+  }
+  StopTracing();
+  EXPECT_TRUE(TraceSnapshot().empty());
+  ClearTrace();
+  SetEnabled(false);
+}
+
+TEST(ObsCompileOutTest, MacrosAreSingleStatements) {
+  // The compiled-out forms must still parse as one statement so they are
+  // safe inside unbraced if/else (the do-while(0) contract).
+  if (true)
+    MC_COUNTER("compile_out.if", 1);
+  else
+    MC_GAUGE("compile_out.else", 2);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace monoclass

@@ -1,0 +1,145 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Probe-accounting regression tests: the Theorem 2 bound instantiation,
+// distinct-vs-call probe counts, the per-chain breakdown, and the
+// Theorem 2 sanity check -- measured probes stay within a constant
+// factor of the instantiated bound on seeded inputs.
+
+#include "obs/probe_budget.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "active/multi_d.h"
+#include "active/oracle.h"
+#include "active/params.h"
+#include "data/synthetic.h"
+
+namespace monoclass {
+namespace obs {
+namespace {
+
+TEST(Theorem2BoundTest, MatchesClosedForm) {
+  // n = 1024, w = 4, eps = 0.5: (4 / 0.25) * log2(1024) * log2(256)
+  //                            = 16 * 10 * 8 = 1280.
+  EXPECT_DOUBLE_EQ(ProbeBudget::Theorem2Bound(1024, 4, 0.5), 1280.0);
+  // Log factors clamp at 1 for degenerate shapes.
+  EXPECT_DOUBLE_EQ(ProbeBudget::Theorem2Bound(1, 1, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbeBudget::Theorem2Bound(16, 16, 1.0), 16.0 * 4.0);
+}
+
+TEST(Theorem2BoundTest, MonotoneInShapeParameters) {
+  // More chains, more points, or smaller eps can only raise the bound.
+  EXPECT_LE(ProbeBudget::Theorem2Bound(4096, 4, 0.5),
+            ProbeBudget::Theorem2Bound(4096, 8, 0.5));
+  EXPECT_LE(ProbeBudget::Theorem2Bound(1024, 4, 0.5),
+            ProbeBudget::Theorem2Bound(4096, 4, 0.5));
+  EXPECT_LT(ProbeBudget::Theorem2Bound(4096, 4, 0.5),
+            ProbeBudget::Theorem2Bound(4096, 4, 0.25));
+}
+
+TEST(ProbeBudgetTest, ReportCarriesPerChainBreakdown) {
+  ProbeBudget budget(100, 3, 0.5, 0.05);
+  budget.RecordChain(0, 10);
+  budget.RecordChain(2, 30);
+  budget.RecordChain(1, 20);
+  budget.RecordTotal(60);
+  const ProbeBudgetReport report = budget.Report();
+  EXPECT_EQ(report.n, 100u);
+  EXPECT_EQ(report.w, 3u);
+  ASSERT_EQ(report.per_chain_probes.size(), 3u);
+  EXPECT_EQ(report.per_chain_probes[0], 10u);
+  EXPECT_EQ(report.per_chain_probes[1], 20u);
+  EXPECT_EQ(report.per_chain_probes[2], 30u);
+  EXPECT_EQ(report.measured_probes, 60u);
+  EXPECT_DOUBLE_EQ(report.utilization, 60.0 / report.theorem2_bound);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(ProbeBudgetTest, InvalidShapesDie) {
+  EXPECT_DEATH(ProbeBudget(0, 1, 0.5, 0.1), "");
+  EXPECT_DEATH(ProbeBudget(10, 0, 0.5, 0.1), "");
+  EXPECT_DEATH(ProbeBudget(10, 11, 0.5, 0.1), "");
+  EXPECT_DEATH(ProbeBudget(10, 2, 0.0, 0.1), "");
+}
+
+// --- regression: distinct vs call accounting ---------------------------
+
+TEST(ProbeAccountingTest, DistinctVersusCallCounts) {
+  PlantedOptions options;
+  options.num_points = 50;
+  options.seed = 5;
+  const PlantedInstance instance = GeneratePlanted(options);
+  InMemoryOracle oracle(instance.data);
+  // Probe point 7 three times and point 8 once: 4 calls, 2 distinct.
+  oracle.Probe(7);
+  oracle.Probe(7);
+  oracle.Probe(8);
+  oracle.Probe(7);
+  EXPECT_EQ(oracle.NumProbeCalls(), 4u);
+  EXPECT_EQ(oracle.NumProbes(), 2u);
+  EXPECT_TRUE(oracle.WasProbed(7));
+  EXPECT_FALSE(oracle.WasProbed(9));
+}
+
+TEST(ProbeAccountingTest, ActiveRunBudgetMatchesOracle) {
+  PlantedOptions options;
+  options.num_points = 400;
+  options.dimension = 2;
+  options.noise_flips = 8;
+  options.seed = 23;
+  const PlantedInstance instance = GeneratePlanted(options);
+  InMemoryOracle oracle(instance.data);
+  ActiveSolveOptions solve_options;
+  solve_options.sampling = ActiveSamplingParams::Practical(1.0, 0.1);
+  const ActiveSolveResult result =
+      SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+
+  EXPECT_EQ(result.probes, oracle.NumProbes());
+  EXPECT_EQ(result.probe_budget.measured_probes, oracle.NumProbes());
+  EXPECT_LE(oracle.NumProbes(), oracle.NumProbeCalls());
+  // The per-chain breakdown accounts for every probe: the passive stage
+  // adds none, so the chain sum equals the total.
+  const size_t chain_sum =
+      std::accumulate(result.probe_budget.per_chain_probes.begin(),
+                      result.probe_budget.per_chain_probes.end(), size_t{0});
+  EXPECT_EQ(chain_sum, result.probes);
+}
+
+// --- Theorem 2 sanity ---------------------------------------------------
+// On seeded chain instances the measured probe count must stay within a
+// constant factor of the instantiated bound. The constant absorbs the
+// O(.) the paper hides; what the regression pins is that it does not
+// drift with n.
+TEST(ProbeAccountingTest, Theorem2SanityOnSeededInputs) {
+  constexpr double kConstantFactor = 8.0;
+  for (const size_t length : {128u, 512u, 2048u}) {
+    ChainInstanceOptions options;
+    options.num_chains = 4;
+    options.chain_length = length;
+    options.noise_per_chain = length / 64;
+    options.seed = 97 + length;
+    const ChainInstance instance = GenerateChainInstance(options);
+    InMemoryOracle oracle(instance.data);
+    ActiveSolveOptions solve_options;
+    solve_options.sampling = ActiveSamplingParams::Practical(1.0, 0.1);
+    solve_options.precomputed_chains = instance.chains;
+    const ActiveSolveResult result =
+        SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+    EXPECT_GT(result.probe_budget.theorem2_bound, 0.0);
+    EXPECT_LE(result.probe_budget.utilization, kConstantFactor)
+        << "chain length " << length << ": "
+        << result.probe_budget.ToString();
+    // And probing is genuinely sublinear on the larger instances.
+    if (instance.data.size() >= 2048) {
+      EXPECT_LT(result.probes, instance.data.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace monoclass

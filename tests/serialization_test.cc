@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "test_util.h"
+#include "util/json.h"
 #include "util/random.h"
 
 namespace monoclass {
@@ -190,6 +191,37 @@ TEST(FileWrappersTest, MissingFileReportsError) {
   EXPECT_FALSE(error.empty());
   EXPECT_FALSE(
       ReadClassifierFile("/nonexistent/model.txt", &error).has_value());
+}
+
+TEST(RunManifestTest, MakeFillsBuildMetadata) {
+  const RunManifest manifest =
+      MakeRunManifest("exp2", "figure-3", "passive scaling claim");
+  EXPECT_EQ(manifest.experiment, "exp2");
+  EXPECT_EQ(manifest.artifact, "figure-3");
+  EXPECT_EQ(manifest.claim, "passive scaling claim");
+  EXPECT_FALSE(manifest.git_sha.empty());
+  EXPECT_FALSE(manifest.build_type.empty());
+}
+
+TEST(RunManifestTest, JsonOutputParsesWithExpectedKeys) {
+  RunManifest manifest = MakeRunManifest("exp1", "table-2", "claim text");
+  manifest.params.emplace_back("n", "4096");
+  manifest.params.emplace_back("eps", "0.1");
+  std::stringstream out;
+  WriteRunManifestJson(manifest, out);
+  std::string error;
+  const auto doc = JsonValue::Parse(out.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->Find("experiment")->AsString(), "exp1");
+  EXPECT_EQ(doc->Find("artifact")->AsString(), "table-2");
+  EXPECT_EQ(doc->Find("claim")->AsString(), "claim text");
+  ASSERT_NE(doc->Find("git_sha"), nullptr);
+  ASSERT_NE(doc->Find("build_type"), nullptr);
+  ASSERT_NE(doc->Find("obs_enabled"), nullptr);
+  const JsonValue* params = doc->Find("params");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->Find("n")->AsString(), "4096");
+  EXPECT_EQ(params->Find("eps")->AsString(), "0.1");
 }
 
 }  // namespace

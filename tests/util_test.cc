@@ -159,6 +159,43 @@ TEST(StatsTest, QuantileCacheInvalidatedByAdd) {
   EXPECT_DOUBLE_EQ(stat.Median(), 2.0);
 }
 
+TEST(StatsTest, InterleavedAddAndQuantileStaysExact) {
+  // The sorted view is maintained by incremental merge; interleaving
+  // queries with out-of-order inserts must agree with a full re-sort.
+  RunningStat stat;
+  std::vector<double> reference;
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 7; ++k) {
+      const double v = static_cast<double>(rng.UniformInt(1000));
+      stat.Add(v);
+      reference.push_back(v);
+    }
+    std::vector<double> sorted = reference;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+      const double pos = q * static_cast<double>(sorted.size() - 1);
+      const auto lo = static_cast<size_t>(pos);
+      const size_t hi = std::min(lo + 1, sorted.size() - 1);
+      const double frac = pos - static_cast<double>(lo);
+      const double expected =
+          sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+      EXPECT_DOUBLE_EQ(stat.Quantile(q), expected)
+          << "round " << round << " q " << q;
+    }
+  }
+}
+
+TEST(StatsTest, QuantileRepeatedQueriesWithoutAdds) {
+  RunningStat stat;
+  for (const double v : {5.0, 1.0, 3.0}) stat.Add(v);
+  // Repeated queries hit the merged view; no pending samples remain.
+  EXPECT_DOUBLE_EQ(stat.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(stat.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(stat.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stat.Quantile(1.0), 5.0);
+}
+
 TEST(StatsTest, FractionAbove) {
   RunningStat stat;
   for (const double v : {1.0, 2.0, 3.0, 4.0}) stat.Add(v);

@@ -11,7 +11,11 @@
 #                          (invariants go through MC_CHECK / MC_AUDIT,
 #                          randomness through monoclass::Rng);
 #   4. umbrella closure -- every header under src/ is reachable from the
-#                          src/monoclass.h umbrella via quoted includes.
+#                          src/monoclass.h umbrella via quoted includes;
+#   5. clock discipline -- no raw std::chrono::steady_clock::now()
+#                          outside src/util/timer.h and src/obs/ (timing
+#                          goes through WallTimer or obs spans so it is
+#                          traceable).
 #
 # Usage: lint.sh [REPO_ROOT]
 #   REPO_ROOT defaults to the repository containing this script. Pass a
@@ -128,6 +132,19 @@ if [ -f src/monoclass.h ]; then
     esac
   done
 fi
+
+# --- 5. clock discipline ------------------------------------------------
+# Raw steady_clock reads scattered through the tree cannot be traced or
+# aggregated; the two sanctioned wrappers are util/timer.h (WallTimer)
+# and the obs layer (spans / NowMicros).
+for f in $(cxx_files); do
+  case "$f" in
+    src/util/timer.h|src/obs/*) continue ;;
+  esac
+  if grep -qE 'steady_clock[[:space:]]*::[[:space:]]*now[[:space:]]*\(' "$f"; then
+    fail "$f: raw steady_clock::now() -- use WallTimer (util/timer.h) or an obs span"
+  fi
+done
 
 # --- optional clang-tidy ------------------------------------------------
 if [ "$run_tidy" = 1 ]; then

@@ -85,13 +85,33 @@ sed -i 's/int kNothing = 0;/inline int Draw() { return rand(); }/' \
   "$tmp/tree/src/util/good.h"
 expect_fail "library code calling rand()" "rand()/srand()"
 
-# 7. A header the umbrella cannot reach.
+# 7. Raw steady_clock::now() outside the sanctioned wrappers.
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline double Now() { return std::chrono::steady_clock::now().time_since_epoch().count(); }/' \
+  "$tmp/tree/src/util/good.h"
+expect_fail "library code reading steady_clock directly" \
+  "raw steady_clock::now()"
+
+# 8. The same call is allowed in the sanctioned files.
+make_clean_tree
+mkdir -p "$tmp/tree/src/obs"
+header_boilerplate MONOCLASS_UTIL_TIMER_H_ > "$tmp/tree/src/util/timer.h"
+sed -i 's/int kNothing = 0;/inline double Now() { return std::chrono::steady_clock::now().time_since_epoch().count(); }/' \
+  "$tmp/tree/src/util/timer.h"
+header_boilerplate MONOCLASS_OBS_TRACE_H_ > "$tmp/tree/src/obs/trace.h"
+sed -i 's/int kNothing = 0;/inline double Now2() { return std::chrono::steady_clock::now().time_since_epoch().count(); }/' \
+  "$tmp/tree/src/obs/trace.h"
+sed -i 's|#include "util/good.h"|#include "util/good.h"\n#include "util/timer.h"\n#include "obs/trace.h"|' \
+  "$tmp/tree/src/monoclass.h"
+expect_pass "steady_clock::now() inside util/timer.h and src/obs/"
+
+# 9. A header the umbrella cannot reach.
 make_clean_tree
 header_boilerplate MONOCLASS_UTIL_ORPHAN_H_ > "$tmp/tree/src/util/orphan.h"
 expect_fail "a public header missing from the umbrella" \
   "not reachable from the src/monoclass.h umbrella"
 
-# 8. The real repository passes (same invariant the lint_check test runs,
+# 10. The real repository passes (same invariant the lint_check test runs,
 # but from the self-test's perspective: a regression here means the lint
 # and the tree disagree).
 if ! out="$(bash "$lint" 2>&1)"; then

@@ -1,0 +1,355 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Pretty-printer and schema validator for the machine-readable outputs
+// the repo emits: BENCH_*.json (bench reports), TRACE_*.json (Chrome
+// traces) and metrics snapshots.
+//
+// Usage:
+//   mc_report [--validate] file.json...
+//
+// Without --validate, prints a human-readable summary of each file.
+// With --validate, checks each file against the expected schema and
+// exits non-zero on the first violation (CI runs this over the bench
+// smoke artifacts). The file kind is sniffed from its top-level keys:
+//   bench report  -- has "schema_version" and "phases"
+//   chrome trace  -- has "traceEvents"
+//   metrics dump  -- has "counters" / "gauges" / "histograms"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace monoclass {
+namespace {
+
+struct Options {
+  bool validate = false;
+  std::vector<std::string> files;
+};
+
+// Collects human-readable schema complaints for one file.
+class Validator {
+ public:
+  void Fail(const std::string& message) { problems_.push_back(message); }
+  bool ok() const { return problems_.empty(); }
+  const std::vector<std::string>& problems() const { return problems_; }
+
+  // Checks that object `value` has a member `key` of type `type`;
+  // returns the member or nullptr (after recording the problem).
+  const JsonValue* Require(const JsonValue& value, const std::string& key,
+                           JsonValue::Type type) {
+    const JsonValue* member = value.Find(key);
+    if (member == nullptr) {
+      Fail("missing key \"" + key + "\"");
+      return nullptr;
+    }
+    if (member->type() != type) {
+      Fail("key \"" + key + "\" has wrong type");
+      return nullptr;
+    }
+    return member;
+  }
+
+ private:
+  std::vector<std::string> problems_;
+};
+
+void ValidateManifest(const JsonValue& manifest, Validator& v) {
+  v.Require(manifest, "experiment", JsonValue::Type::kString);
+  v.Require(manifest, "artifact", JsonValue::Type::kString);
+  v.Require(manifest, "claim", JsonValue::Type::kString);
+  v.Require(manifest, "git_sha", JsonValue::Type::kString);
+  v.Require(manifest, "build_type", JsonValue::Type::kString);
+  v.Require(manifest, "obs_enabled", JsonValue::Type::kBool);
+  v.Require(manifest, "params", JsonValue::Type::kObject);
+}
+
+void ValidateBenchReport(const JsonValue& root, Validator& v) {
+  v.Require(root, "schema_version", JsonValue::Type::kNumber);
+  const JsonValue* manifest =
+      v.Require(root, "manifest", JsonValue::Type::kObject);
+  if (manifest != nullptr) ValidateManifest(*manifest, v);
+  v.Require(root, "metrics", JsonValue::Type::kObject);
+  v.Require(root, "dropped_spans", JsonValue::Type::kNumber);
+  const JsonValue* phases =
+      v.Require(root, "phases", JsonValue::Type::kArray);
+  if (phases == nullptr) return;
+  for (size_t i = 0; i < phases->AsArray().size(); ++i) {
+    const JsonValue& phase = phases->AsArray()[i];
+    if (!phase.is_object()) {
+      v.Fail("phase " + std::to_string(i) + " is not an object");
+      continue;
+    }
+    v.Require(phase, "name", JsonValue::Type::kString);
+    const JsonValue* wall =
+        v.Require(phase, "wall_ms", JsonValue::Type::kNumber);
+    if (wall != nullptr && wall->AsNumber() < 0) {
+      v.Fail("phase " + std::to_string(i) + " has negative wall_ms");
+    }
+    v.Require(phase, "counters", JsonValue::Type::kObject);
+  }
+}
+
+void ValidateChromeTrace(const JsonValue& root, Validator& v) {
+  const JsonValue* events =
+      v.Require(root, "traceEvents", JsonValue::Type::kArray);
+  if (events == nullptr) return;
+  // Balanced B/E per thread, monotone timestamps per thread.
+  std::map<uint64_t, int> depth;      // tid -> open spans
+  std::map<uint64_t, double> last_ts; // tid -> last timestamp seen
+  for (size_t i = 0; i < events->AsArray().size(); ++i) {
+    const JsonValue& event = events->AsArray()[i];
+    if (!event.is_object()) {
+      v.Fail("event " + std::to_string(i) + " is not an object");
+      continue;
+    }
+    const JsonValue* ph = v.Require(event, "ph", JsonValue::Type::kString);
+    const JsonValue* ts = v.Require(event, "ts", JsonValue::Type::kNumber);
+    const JsonValue* tid = v.Require(event, "tid", JsonValue::Type::kNumber);
+    v.Require(event, "name", JsonValue::Type::kString);
+    v.Require(event, "pid", JsonValue::Type::kNumber);
+    if (ph == nullptr || ts == nullptr || tid == nullptr) continue;
+    const auto thread = static_cast<uint64_t>(tid->AsNumber());
+    if (ph->AsString() == "B") {
+      ++depth[thread];
+    } else if (ph->AsString() == "E") {
+      if (--depth[thread] < 0) {
+        v.Fail("event " + std::to_string(i) + ": E without matching B");
+      }
+    } else {
+      v.Fail("event " + std::to_string(i) + ": unexpected ph \"" +
+             ph->AsString() + "\"");
+    }
+    const auto [it, inserted] = last_ts.emplace(thread, ts->AsNumber());
+    if (!inserted && ts->AsNumber() + 1e-9 < it->second) {
+      v.Fail("event " + std::to_string(i) +
+             ": timestamp not monotone within thread");
+    }
+    it->second = ts->AsNumber();
+  }
+  for (const auto& [thread, open] : depth) {
+    if (open != 0) {
+      v.Fail("thread " + std::to_string(thread) + " has " +
+             std::to_string(open) + " unclosed span(s)");
+    }
+  }
+}
+
+void ValidateMetricsDump(const JsonValue& root, Validator& v) {
+  v.Require(root, "counters", JsonValue::Type::kObject);
+  v.Require(root, "gauges", JsonValue::Type::kObject);
+  v.Require(root, "histograms", JsonValue::Type::kObject);
+}
+
+enum class FileKind { kBench, kTrace, kMetrics, kUnknown };
+
+FileKind SniffKind(const JsonValue& root) {
+  if (!root.is_object()) return FileKind::kUnknown;
+  if (root.Find("schema_version") != nullptr && root.Find("phases") != nullptr)
+    return FileKind::kBench;
+  if (root.Find("traceEvents") != nullptr) return FileKind::kTrace;
+  if (root.Find("counters") != nullptr || root.Find("gauges") != nullptr ||
+      root.Find("histograms") != nullptr)
+    return FileKind::kMetrics;
+  return FileKind::kUnknown;
+}
+
+void PrintBenchReport(const JsonValue& root) {
+  const JsonValue* manifest = root.Find("manifest");
+  if (manifest != nullptr) {
+    auto field = [&](const char* key) -> std::string {
+      const JsonValue* value = manifest->Find(key);
+      return value != nullptr && value->is_string() ? value->AsString()
+                                                    : std::string("?");
+    };
+    std::cout << "experiment " << field("experiment") << " -- "
+              << field("artifact") << "\n  claim: " << field("claim")
+              << "\n  build: " << field("git_sha") << " ("
+              << field("build_type") << ")";
+    const JsonValue* obs = manifest->Find("obs_enabled");
+    if (obs != nullptr && obs->is_bool()) {
+      std::cout << ", obs " << (obs->AsBool() ? "on" : "off");
+    }
+    std::cout << "\n";
+  }
+  const JsonValue* phases = root.Find("phases");
+  if (phases != nullptr && phases->is_array()) {
+    std::cout << "  phases:\n";
+    for (const JsonValue& phase : phases->AsArray()) {
+      if (!phase.is_object()) continue;
+      const JsonValue* name = phase.Find("name");
+      const JsonValue* wall = phase.Find("wall_ms");
+      std::printf("    %-55s %10.3f ms\n",
+                  name != nullptr && name->is_string()
+                      ? name->AsString().c_str()
+                      : "?",
+                  wall != nullptr && wall->is_number() ? wall->AsNumber()
+                                                       : -1.0);
+      const JsonValue* counters = phase.Find("counters");
+      if (counters != nullptr && counters->is_object()) {
+        for (const auto& [key, value] : counters->AsObject()) {
+          std::printf("      %-53s %12.0f\n", key.c_str(),
+                      value.is_number() ? value.AsNumber() : -1.0);
+        }
+      }
+    }
+  }
+  const JsonValue* dropped = root.Find("dropped_spans");
+  if (dropped != nullptr && dropped->is_number() &&
+      dropped->AsNumber() > 0) {
+    std::cout << "  WARNING: " << dropped->AsNumber()
+              << " spans dropped (trace buffer full)\n";
+  }
+}
+
+void PrintChromeTrace(const JsonValue& root) {
+  const JsonValue* events = root.Find("traceEvents");
+  const size_t count =
+      events != nullptr && events->is_array() ? events->AsArray().size() : 0;
+  std::cout << "chrome trace: " << count
+            << " events (load at https://ui.perfetto.dev)\n";
+  // Top-level span histogram by name.
+  std::vector<std::pair<std::string, size_t>> by_name;
+  if (events != nullptr && events->is_array()) {
+    for (const JsonValue& event : events->AsArray()) {
+      const JsonValue* ph = event.Find("ph");
+      const JsonValue* name = event.Find("name");
+      if (ph == nullptr || name == nullptr || !ph->is_string() ||
+          !name->is_string() || ph->AsString() != "B") {
+        continue;
+      }
+      bool found = false;
+      for (auto& entry : by_name) {
+        if (entry.first == name->AsString()) {
+          ++entry.second;
+          found = true;
+          break;
+        }
+      }
+      if (!found) by_name.emplace_back(name->AsString(), 1);
+    }
+  }
+  for (const auto& [name, n] : by_name) {
+    std::printf("  %-55s x%zu\n", name.c_str(), n);
+  }
+}
+
+void PrintMetricsDump(const JsonValue& root) {
+  for (const char* section : {"counters", "gauges"}) {
+    const JsonValue* group = root.Find(section);
+    if (group == nullptr || !group->is_object()) continue;
+    for (const auto& [name, value] : group->AsObject()) {
+      std::printf("  %-55s %14.6g\n", name.c_str(),
+                  value.is_number() ? value.AsNumber() : -1.0);
+    }
+  }
+  const JsonValue* histograms = root.Find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, histogram] : histograms->AsObject()) {
+      const JsonValue* count = histogram.Find("count");
+      const JsonValue* mean = histogram.Find("mean");
+      std::printf("  %-55s n=%-8.0f mean=%.6g\n", name.c_str(),
+                  count != nullptr && count->is_number() ? count->AsNumber()
+                                                         : -1.0,
+                  mean != nullptr && mean->is_number() ? mean->AsNumber()
+                                                       : -1.0);
+    }
+  }
+}
+
+int ProcessFile(const std::string& path, bool validate) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const auto root = JsonValue::Parse(buffer.str(), &error);
+  if (!root.has_value()) {
+    std::cerr << path << ": invalid JSON: " << error << "\n";
+    return 1;
+  }
+  const FileKind kind = SniffKind(*root);
+  if (validate) {
+    Validator v;
+    switch (kind) {
+      case FileKind::kBench:
+        ValidateBenchReport(*root, v);
+        break;
+      case FileKind::kTrace:
+        ValidateChromeTrace(*root, v);
+        break;
+      case FileKind::kMetrics:
+        ValidateMetricsDump(*root, v);
+        break;
+      case FileKind::kUnknown:
+        v.Fail("unrecognized file kind (no bench/trace/metrics keys)");
+        break;
+    }
+    if (!v.ok()) {
+      for (const std::string& problem : v.problems()) {
+        std::cerr << path << ": " << problem << "\n";
+      }
+      return 1;
+    }
+    std::cout << path << ": OK\n";
+    return 0;
+  }
+  std::cout << "== " << path << " ==\n";
+  switch (kind) {
+    case FileKind::kBench:
+      PrintBenchReport(*root);
+      break;
+    case FileKind::kTrace:
+      PrintChromeTrace(*root);
+      break;
+    case FileKind::kMetrics:
+      PrintMetricsDump(*root);
+      break;
+    case FileKind::kUnknown:
+      std::cout << "  (unrecognized JSON; valid but not a monoclass "
+                   "report)\n";
+      break;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      options.validate = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: mc_report [--validate] file.json...\n";
+      return 0;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty()) {
+    std::cerr << "usage: mc_report [--validate] file.json...\n";
+    return 2;
+  }
+  int status = 0;
+  for (const std::string& file : options.files) {
+    status |= ProcessFile(file, options.validate);
+  }
+  return status;
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main(int argc, char** argv) {
+  return monoclass::Main(argc, argv);
+}
