@@ -13,6 +13,7 @@
 #include "active/oracle.h"
 #include "bench_util.h"
 #include "data/synthetic.h"
+#include "util/concurrency.h"
 
 namespace monoclass {
 namespace {
@@ -98,6 +99,63 @@ void Run() {
           FormatDouble(static_cast<double>(result.sigma.size()) * eps * eps,
                        5),
           FormatDouble(timer.ElapsedMillis(), 4));
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection(
+      "thread sweep: per-chain parallel solves (w = 32, chain length 8192)");
+  {
+    // The per-chain 1D solves are the parallel hot path; the determinism
+    // contract says every thread count must reproduce the serial
+    // classifier bit for bit, so alongside speedup the table verifies
+    // probes / |Sigma| / generator equality against the threads = 1 run.
+    ChainInstanceOptions options;
+    options.num_chains = 32;
+    options.chain_length = 8192;
+    options.noise_per_chain = 80;
+    options.seed = 41;
+    const ChainInstance instance = GenerateChainInstance(options);
+
+    ActiveSolveOptions solve_options;
+    solve_options.sampling = ActiveSamplingParams::Practical(0.5, 0.05);
+    solve_options.precomputed_chains = instance.chains;
+    solve_options.seed = 9;
+
+    solve_options.parallel.threads = 1;
+    InMemoryOracle serial_oracle(instance.data);
+    obs::SpanTimer serial_timer("bench/active_solve_serial");
+    const auto serial =
+        SolveActiveMultiD(instance.data.points(), serial_oracle,
+                          solve_options);
+    const double serial_ms = serial_timer.ElapsedMillis();
+
+    bench::BenchReport::Global().SetThreads(ParallelOptions{}.Resolve());
+    bench::BenchReport::Global().AddParam(
+        "hardware_threads", std::to_string(ParallelOptions{}.Resolve()));
+
+    TextTable table(
+        {"threads", "total-ms", "speedup", "probes", "identical"});
+    table.AddRowValues(1, FormatDouble(serial_ms, 4), FormatDouble(1.0, 2),
+                       serial.probes, "yes");
+    for (const size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+      solve_options.parallel.threads = threads;
+      InMemoryOracle oracle(instance.data);
+      obs::SpanTimer timer("bench/active_solve_parallel");
+      const auto result =
+          SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+      const double ms = timer.ElapsedMillis();
+      const bool identical =
+          result.probes == serial.probes &&
+          result.sigma.size() == serial.sigma.size() &&
+          result.classifier.generators() == serial.classifier.generators();
+      table.AddRowValues(threads, FormatDouble(ms, 4),
+                         FormatDouble(serial_ms / ms, 2), result.probes,
+                         identical ? "yes" : "NO");
+      if (!identical) {
+        std::cerr << "bench_active_cpu: parallel run (threads=" << threads
+                  << ") diverged from serial output\n";
+      }
     }
     bench::PrintTable(table);
   }

@@ -14,6 +14,7 @@
 #include "passive/brute_force.h"
 #include "passive/flow_solver.h"
 #include "passive/staircase_2d.h"
+#include "util/concurrency.h"
 
 namespace monoclass {
 namespace {
@@ -127,6 +128,57 @@ void Run() {
       table.AddRowValues(n, FormatDouble(flow_ms, 4),
                          FormatDouble(staircase_ms, 4),
                          flow == staircase ? "yes" : "NO");
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection(
+      "thread sweep: parallel O(n^2) phases (n = 8192, d = 4, 2% noise)");
+  {
+    // The contending scan and dominance-edge build shard across the
+    // pool; the max-flow step stays serial. The determinism contract
+    // requires the network -- and so the classifier and k* -- to be
+    // bit-identical to the serial build at every thread count.
+    PlantedOptions options;
+    options.num_points = 8192;
+    options.dimension = 4;
+    options.noise_flips = 8192 / 50;
+    options.seed = 97;
+    const PlantedInstance instance = GeneratePlanted(options);
+
+    PassiveSolveOptions solve_options;
+    solve_options.parallel.threads = 1;
+    obs::SpanTimer serial_timer("bench/solve_serial");
+    const PassiveSolveResult serial =
+        SolvePassiveUnweighted(instance.data, solve_options);
+    const double serial_ms = serial_timer.ElapsedMillis();
+
+    bench::BenchReport::Global().SetThreads(ParallelOptions{}.Resolve());
+    bench::BenchReport::Global().AddParam(
+        "hardware_threads", std::to_string(ParallelOptions{}.Resolve()));
+
+    TextTable table({"threads", "time-ms", "speedup", "k*", "identical"});
+    table.AddRowValues(
+        1, FormatDouble(serial_ms, 4), FormatDouble(1.0, 2),
+        static_cast<size_t>(serial.optimal_weighted_error + 0.5), "yes");
+    for (const size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+      solve_options.parallel.threads = threads;
+      obs::SpanTimer timer("bench/solve_parallel");
+      const PassiveSolveResult result =
+          SolvePassiveUnweighted(instance.data, solve_options);
+      const double ms = timer.ElapsedMillis();
+      const bool identical =
+          result.assignment == serial.assignment &&
+          result.network_infinite_edges == serial.network_infinite_edges &&
+          result.optimal_weighted_error == serial.optimal_weighted_error;
+      table.AddRowValues(
+          threads, FormatDouble(ms, 4), FormatDouble(serial_ms / ms, 2),
+          static_cast<size_t>(result.optimal_weighted_error + 0.5),
+          identical ? "yes" : "NO");
+      if (!identical) {
+        std::cerr << "bench_passive_scaling: parallel run (threads="
+                  << threads << ") diverged from serial output\n";
+      }
     }
     bench::PrintTable(table);
   }

@@ -34,7 +34,8 @@ namespace monoclass {
 namespace bench {
 
 // Version of the BENCH_*.json layout; bump when fields change shape.
-inline constexpr int kBenchSchemaVersion = 1;
+// v2: manifest gained the required "threads" field (parallel runs).
+inline constexpr int kBenchSchemaVersion = 2;
 
 // Collects phase timings and metric deltas over one bench run and writes
 // BENCH_<id>.json when the process exits (or on explicit Finish()).
@@ -72,6 +73,10 @@ class BenchReport {
   void AddParam(const std::string& key, const std::string& value) {
     manifest_.params.emplace_back(key, value);
   }
+
+  // Records the worker-thread count this run's parallel phases used
+  // (manifest "threads"; defaults to the machine's resolved count).
+  void SetThreads(size_t threads) { manifest_.threads = threads; }
 
   // Writes BENCH_<id>.json (and TRACE_<id>.json when tracing is active).
   // Idempotent; called automatically at process exit.

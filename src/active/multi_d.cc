@@ -3,7 +3,9 @@
 
 #include "active/multi_d.h"
 
+#include <optional>
 #include <utility>
+#include <vector>
 
 #include "active/one_d.h"
 #include "active/sample_audit.h"
@@ -14,6 +16,40 @@
 #include "util/audit.h"
 
 namespace monoclass {
+namespace {
+
+// Forwards probes to a shared oracle while counting this chain's cost
+// locally. Chains partition the point set, so no point is probed by two
+// chains and the local distinct count equals the chain's contribution to
+// the shared oracle's NumProbes() -- exactly, even when other chains
+// probe concurrently. This is what lets the per-chain budget accounting
+// stay exact without reading the shared counters mid-run (which would be
+// order-dependent under parallelism).
+class ChainOracleView final : public LabelOracle {
+ public:
+  ChainOracleView(LabelOracle& shared, size_t num_points)
+      : shared_(&shared), revealed_(num_points, false) {}
+
+  Label Probe(size_t index) override {
+    ++probe_calls_;
+    if (!revealed_[index]) {
+      revealed_[index] = true;
+      ++distinct_probes_;
+    }
+    return shared_->Probe(index);
+  }
+  size_t NumPoints() const override { return revealed_.size(); }
+  size_t NumProbes() const override { return distinct_probes_; }
+  size_t NumProbeCalls() const override { return probe_calls_; }
+
+ private:
+  LabelOracle* shared_;
+  std::vector<bool> revealed_;
+  size_t distinct_probes_ = 0;
+  size_t probe_calls_ = 0;
+};
+
+}  // namespace
 
 ActiveSolveResult SolveActiveMultiD(const PointSet& points,
                                     LabelOracle& oracle,
@@ -57,24 +93,49 @@ ActiveSolveResult SolveActiveMultiD(const PointSet& points,
   ActiveSamplingParams chain_params = options.sampling;
   chain_params.delta =
       options.sampling.delta / static_cast<double>(decomposition.NumChains());
-  Rng root_rng(options.seed);
-  for (size_t c = 0; c < decomposition.chains.size(); ++c) {
+
+  // Chains are independent: disjoint point sets, independent RNG streams
+  // (chain c always draws from Rng(seed, c), regardless of thread
+  // count), and per-chain results are merged in chain order below. Only
+  // the shared oracle couples the tasks, so it gets a synchronized
+  // wrapper when more than one worker may probe it; with threads == 1
+  // ParallelForEach runs the body inline on this thread and the raw
+  // oracle is used directly -- the exact serial path.
+  const size_t num_chains = decomposition.chains.size();
+  struct ChainOutcome {
+    OneDSolveResult result;
+    size_t distinct_probes = 0;
+  };
+  std::vector<ChainOutcome> outcomes(num_chains);
+
+  std::optional<SynchronizedOracle> synchronized;
+  LabelOracle* shared_oracle = &oracle;
+  if (options.parallel.Resolve() > 1 && num_chains > 1) {
+    synchronized.emplace(oracle);
+    shared_oracle = &*synchronized;
+  }
+  ParallelForEach(num_chains, options.parallel, [&](size_t c) {
+    MC_SPAN("par.chain");
     const auto& chain = decomposition.chains[c];
-    MC_SPAN("active/chain_solve");
-    const size_t chain_probes_before = oracle.NumProbes();
     std::vector<double> coordinates(chain.size());
     for (size_t r = 0; r < chain.size(); ++r) {
       coordinates[r] = static_cast<double>(r);  // rank along the chain
     }
-    Rng chain_rng = root_rng.Fork();
-    OneDSolveResult chain_result =
-        SolveActive1D(chain, coordinates, oracle, chain_params, chain_rng);
+    ChainOracleView view(*shared_oracle, points.size());
+    Rng chain_rng(options.seed, static_cast<uint64_t>(c));
+    outcomes[c].result =
+        SolveActive1D(chain, coordinates, view, chain_params, chain_rng);
+    outcomes[c].distinct_probes = view.NumProbes();
+  });
+
+  for (size_t c = 0; c < num_chains; ++c) {
+    const OneDSolveResult& chain_result = outcomes[c].result;
     result.total_levels += chain_result.levels;
     result.full_probe_levels += chain_result.full_probe_levels;
     for (const WeightedSampleEntry& entry : chain_result.sigma) {
       result.sigma.Add(points[entry.point_index], entry.label, entry.weight);
     }
-    budget.RecordChain(c, oracle.NumProbes() - chain_probes_before);
+    budget.RecordChain(c, outcomes[c].distinct_probes);
   }
 
   // Step 3: passive weighted solve on Sigma (Theorem 3 reduction). The

@@ -28,6 +28,7 @@
 #include "core/dataset.h"
 #include "obs/probe_budget.h"
 #include "passive/flow_solver.h"
+#include "util/concurrency.h"
 
 namespace monoclass {
 
@@ -50,6 +51,13 @@ struct ActiveSolveOptions {
   std::optional<ChainDecomposition> precomputed_chains;
   // Options for the final passive solve on Sigma.
   PassiveSolveOptions passive;
+  // Parallelism for the per-chain 1D solves. Chains are independent
+  // sub-problems, so they run as pool tasks; results are merged in chain
+  // order and each chain draws from its own (seed, chain_index) RNG
+  // stream, making the output bit-identical to the serial run.
+  // threads = 1 takes the exact serial path (no pool, no locking);
+  // 0 = hardware concurrency. See docs/concurrency.md.
+  ParallelOptions parallel;
 };
 
 struct ActiveSolveResult {

@@ -37,7 +37,7 @@ NoisyOracle::NoisyOracle(const LabeledPointSet& set, double flip_probability,
                          uint64_t seed)
     : set_(&set),
       flip_probability_(flip_probability),
-      rng_(seed),
+      seed_(seed),
       state_(set.size(), 0) {
   MC_CHECK_GE(flip_probability, 0.0);
   MC_CHECK_LE(flip_probability, 1.0);
@@ -50,7 +50,11 @@ Label NoisyOracle::Probe(size_t index) {
   if (state_[index] == 0) {
     ++distinct_probes_;
     MC_COUNTER("oracle.probes_distinct", 1);
-    if (rng_.Bernoulli(flip_probability_)) {
+    // Point i's flip decision comes from its own (seed, i) stream, so it
+    // does not depend on which points were probed earlier -- parallel
+    // solves realize the same noise pattern as serial ones.
+    Rng point_rng(seed_, static_cast<uint64_t>(index));
+    if (point_rng.Bernoulli(flip_probability_)) {
       state_[index] = 2;
       ++num_lies_;
       MC_COUNTER("oracle.lies", 1);

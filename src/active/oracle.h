@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "util/concurrency.h"
 #include "util/random.h"
 
 namespace monoclass {
@@ -71,12 +72,17 @@ class InMemoryOracle final : public LabelOracle {
 
 // Oracle whose answers are wrong with a fixed probability -- models an
 // imperfect human labeler (a robustness scenario beyond the paper;
-// experiment E13 measures the degradation). Each point's answer is
-// decided once on first probe and memoized, so repeated probes are
-// consistent (a persistent-noise model, not a resampling one).
+// experiment E13 measures the degradation). Whether point i's answer is
+// flipped is a pure function of (seed, i) -- each point draws from its
+// own Rng stream (util/random stream splitting) -- so the noise pattern
+// is independent of probe *order*. That makes parallel active solves
+// (which interleave probes across chains nondeterministically) produce
+// the same noise realization as a serial run with the same seed.
+// Repeated probes of a point are consistent (persistent noise, not
+// resampling).
 class NoisyOracle final : public LabelOracle {
  public:
-  // Flips each first-time answer with probability `flip_probability`.
+  // Flips each point's answer with probability `flip_probability`.
   NoisyOracle(const LabeledPointSet& set, double flip_probability,
               uint64_t seed);
 
@@ -91,11 +97,42 @@ class NoisyOracle final : public LabelOracle {
  private:
   const LabeledPointSet* set_;
   double flip_probability_;
-  Rng rng_;
+  uint64_t seed_;
   std::vector<uint8_t> state_;  // 0 = unprobed, 1 = truthful, 2 = flipped
   size_t distinct_probes_ = 0;
   size_t probe_calls_ = 0;
   size_t num_lies_ = 0;
+};
+
+// Thread-safe adapter serializing every call to an underlying oracle
+// with an annotated Mutex, so parallel chain tasks can share it. The
+// counters reflect the underlying oracle; Probe is linearizable. The
+// wrapped oracle must outlive the adapter and must not be used directly
+// while the adapter is shared across threads.
+class SynchronizedOracle final : public LabelOracle {
+ public:
+  explicit SynchronizedOracle(LabelOracle& inner) : inner_(&inner) {}
+
+  Label Probe(size_t index) override MC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inner_->Probe(index);
+  }
+  size_t NumPoints() const override MC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inner_->NumPoints();
+  }
+  size_t NumProbes() const override MC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inner_->NumProbes();
+  }
+  size_t NumProbeCalls() const override MC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inner_->NumProbeCalls();
+  }
+
+ private:
+  mutable Mutex mu_;
+  LabelOracle* const inner_ MC_PT_GUARDED_BY(mu_);
 };
 
 }  // namespace monoclass

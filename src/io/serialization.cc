@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/concurrency.h"
 #include "util/json.h"
 
 namespace monoclass {
@@ -311,6 +312,9 @@ RunManifest MakeRunManifest(const std::string& experiment,
   manifest.git_sha = obs::BuildGitSha();
   manifest.build_type = obs::BuildType();
   manifest.obs_enabled = obs::Enabled();
+  // Default to what the parallel helpers would resolve for this machine;
+  // benches that sweep thread counts overwrite it (BenchReport::SetThreads).
+  manifest.threads = ParallelOptions{}.Resolve();
   return manifest;
 }
 
@@ -321,7 +325,7 @@ void WriteRunManifestJson(const RunManifest& manifest, std::ostream& out) {
       << "\",\"git_sha\":\"" << JsonEscape(manifest.git_sha)
       << "\",\"build_type\":\"" << JsonEscape(manifest.build_type)
       << "\",\"obs_enabled\":" << (manifest.obs_enabled ? "true" : "false")
-      << ",\"params\":{";
+      << ",\"threads\":" << manifest.threads << ",\"params\":{";
   bool first = true;
   for (const auto& [key, value] : manifest.params) {
     if (!first) out << ",";

@@ -73,6 +73,9 @@ struct RunManifest {
   std::string git_sha;      // short SHA of the build ("unknown" if absent)
   std::string build_type;   // CMAKE_BUILD_TYPE of the build
   bool obs_enabled = false; // whether the obs runtime switch was on
+  // Worker threads the run's parallel phases were allowed to use (the
+  // resolved ParallelOptions count; 1 = the exact serial path).
+  size_t threads = 1;
   // Free-form string parameters (seed, n range, solver name, ...).
   std::vector<std::pair<std::string, std::string>> params;
 };
@@ -84,7 +87,7 @@ RunManifest MakeRunManifest(const std::string& experiment,
                             const std::string& claim);
 
 // Writes the manifest as a JSON object (keys: experiment, artifact,
-// claim, git_sha, build_type, obs_enabled, params).
+// claim, git_sha, build_type, obs_enabled, threads, params).
 void WriteRunManifestJson(const RunManifest& manifest, std::ostream& out);
 
 }  // namespace monoclass

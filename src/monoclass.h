@@ -69,10 +69,12 @@
 // bookkeeping.
 #include "util/audit.h"
 #include "util/check.h"
+#include "util/concurrency.h"
 #include "util/json.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 #endif  // MONOCLASS_MONOCLASS_H_

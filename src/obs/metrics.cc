@@ -117,7 +117,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MC_CHECK(gauges_.find(name) == gauges_.end() &&
            histograms_.find(name) == histograms_.end())
       << "metric '" << std::string(name) << "' already registered with a "
@@ -131,7 +131,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MC_CHECK(counters_.find(name) == counters_.end() &&
            histograms_.find(name) == histograms_.end())
       << "metric '" << std::string(name) << "' already registered with a "
@@ -144,7 +144,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MC_CHECK(counters_.find(name) == counters_.end() &&
            gauges_.find(name) == gauges_.end())
       << "metric '" << std::string(name) << "' already registered with a "
@@ -158,7 +158,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   snapshot.samples.reserve(counters_.size() + gauges_.size() +
                            histograms_.size());
@@ -196,7 +196,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -22,10 +22,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/concurrency.h"
 
 namespace monoclass {
 namespace obs {
@@ -134,11 +135,18 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
+  // The registry mutex guards the name -> metric maps only; the metric
+  // objects themselves are lock-free (pointers handed out stay valid and
+  // are updated with relaxed atomics, so holding mu_ is NOT required to
+  // Add/Set/Observe).
+  mutable Mutex mu_;
   // std::map keeps iteration sorted and node pointers stable.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MC_GUARDED_BY(mu_);
 };
 
 // Writes a snapshot as the same JSON object WriteJson emits (used by the

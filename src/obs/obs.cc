@@ -5,7 +5,9 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/concurrency.h"
 
 #ifndef MONOCLASS_GIT_SHA
 #define MONOCLASS_GIT_SHA "unknown"
@@ -57,6 +59,29 @@ void InitFromEnv() {
 std::string BuildGitSha() { return MONOCLASS_GIT_SHA; }
 
 std::string BuildType() { return MONOCLASS_BUILD_TYPE; }
+
+namespace {
+
+// Pool-activity sink: util/concurrency cannot depend on the obs layer
+// (obs sits above util), so the pool reports through a function-pointer
+// hook instead. One call per pool task a worker dequeued; queue_wait_us
+// is the time the task sat queued before being picked up ("steal wait").
+// Shards the calling thread ran inline are not pool tasks and do not
+// count.
+void ParallelTaskToMetrics(double queue_wait_us) {
+  MC_COUNTER("mc.par.tasks", 1);
+  MC_HISTOGRAM("mc.par.steal_wait", queue_wait_us);
+}
+
+// Installed at static-init time. Any binary whose code expands an MC_*
+// macro links this translation unit (obs::Enabled lives here), so every
+// instrumented build observes its pool automatically.
+[[maybe_unused]] const bool g_parallel_sink_installed = [] {
+  ::monoclass::internal::SetParallelTaskSink(&ParallelTaskToMetrics);
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace obs
 }  // namespace monoclass

@@ -8,10 +8,10 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 
+#include "util/concurrency.h"
 #include "util/json.h"
 
 namespace monoclass {
@@ -25,13 +25,15 @@ constexpr size_t kMaxTraceEvents = size_t{1} << 20;
 std::atomic<bool> g_tracing{false};
 std::atomic<uint64_t> g_dropped{0};
 
-std::mutex& BufferMutex() {
-  static std::mutex* mu = new std::mutex();
-  return *mu;
-}
+// The process-wide event buffer with its guarding mutex in one object,
+// so the thread-safety analysis can tie the two together.
+struct TraceBuffer {
+  Mutex mu;
+  std::vector<TraceEvent> events MC_GUARDED_BY(mu);
+};
 
-std::vector<TraceEvent>& Buffer() {
-  static std::vector<TraceEvent>* buffer = new std::vector<TraceEvent>();
+TraceBuffer& GlobalTraceBuffer() {
+  static TraceBuffer* buffer = new TraceBuffer();
   return *buffer;
 }
 
@@ -44,18 +46,20 @@ Clock::time_point TraceEpoch() {
 
 // Appends one event; returns false when the buffer is full.
 bool Record(const char* name, char phase) {
-  std::lock_guard<std::mutex> lock(BufferMutex());
-  std::vector<TraceEvent>& buffer = Buffer();
-  if (phase == 'B' && buffer.size() >= kMaxTraceEvents) {
+  TraceBuffer& buffer = GlobalTraceBuffer();
+  MutexLock lock(buffer.mu);
+  if (phase == 'B' && buffer.events.size() >= kMaxTraceEvents) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   TraceEvent event;
   event.name = name;
   event.phase = phase;
+  // Timestamp taken under the lock, so buffer order is globally
+  // timestamp-ordered even with pool workers recording concurrently.
   event.ts_us = NowMicros();
   event.tid = CurrentThreadId();
-  buffer.push_back(event);
+  buffer.events.push_back(event);
   return true;
 }
 
@@ -84,16 +88,18 @@ void StopTracing() { g_tracing.store(false, std::memory_order_relaxed); }
 bool TracingActive() { return g_tracing.load(std::memory_order_relaxed); }
 
 void ClearTrace() {
-  std::lock_guard<std::mutex> lock(BufferMutex());
-  Buffer().clear();
+  TraceBuffer& buffer = GlobalTraceBuffer();
+  MutexLock lock(buffer.mu);
+  buffer.events.clear();
   g_dropped.store(0, std::memory_order_relaxed);
 }
 
 uint64_t DroppedSpans() { return g_dropped.load(std::memory_order_relaxed); }
 
 std::vector<TraceEvent> TraceSnapshot() {
-  std::lock_guard<std::mutex> lock(BufferMutex());
-  return Buffer();
+  TraceBuffer& buffer = GlobalTraceBuffer();
+  MutexLock lock(buffer.mu);
+  return buffer.events;
 }
 
 void WriteChromeTrace(std::ostream& out) {

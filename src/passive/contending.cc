@@ -3,27 +3,54 @@
 
 #include "passive/contending.h"
 
+#include <algorithm>
+
+#include "obs/obs.h"
+
 namespace monoclass {
 
 ContendingPartition ComputeContending(const PointSet& points,
-                                      const std::vector<Label>& labels) {
+                                      const std::vector<Label>& labels,
+                                      const ParallelOptions& parallel) {
   MC_CHECK_EQ(points.size(), labels.size());
   const size_t n = points.size();
   ContendingPartition partition;
   partition.is_contending.assign(n, false);
-  for (size_t i = 0; i < n; ++i) {
-    bool contending = false;
-    for (size_t j = 0; j < n && !contending; ++j) {
-      if (i == j || labels[j] == labels[i]) continue;
-      if (labels[i] == 0) {
-        // label-0 point dominating a label-1 point.
-        contending = DominatesEq(points[i], points[j]);
-      } else {
-        // label-1 point dominated by a label-0 point.
-        contending = DominatesEq(points[j], points[i]);
+  if (n == 0) return partition;
+
+  // Row i's verdict depends only on row i, so the scan shards cleanly.
+  // Each shard collects its hits locally; ParallelFor never uses more
+  // shards than min(resolved threads, n), so sizing the buffer array by
+  // that bound covers every shard index it can hand out.
+  const size_t max_shards = std::max<size_t>(
+      size_t{1}, std::min<size_t>(parallel.Resolve(), n));
+  std::vector<std::vector<size_t>> shard_hits(max_shards);
+  ParallelFor(n, parallel, [&](size_t begin, size_t end, size_t shard) {
+    MC_SPAN("par.contending");
+    std::vector<size_t>& hits = shard_hits[shard];
+    for (size_t i = begin; i < end; ++i) {
+      bool contending = false;
+      for (size_t j = 0; j < n && !contending; ++j) {
+        if (i == j || labels[j] == labels[i]) continue;
+        if (labels[i] == 0) {
+          // label-0 point dominating a label-1 point.
+          contending = DominatesEq(points[i], points[j]);
+        } else {
+          // label-1 point dominated by a label-0 point.
+          contending = DominatesEq(points[j], points[i]);
+        }
       }
+      if (contending) hits.push_back(i);
     }
-    if (contending) {
+  });
+
+  // Merge after the join. Shard k covers an index range entirely below
+  // shard k+1's, so concatenation reproduces the serial increasing
+  // order. is_contending is vector<bool> (bit-packed -- adjacent
+  // elements share a byte), so it must only ever be written here, from
+  // one thread.
+  for (const std::vector<size_t>& hits : shard_hits) {
+    for (const size_t i : hits) {
       partition.is_contending[i] = true;
       partition.contending.push_back(i);
     }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "util/concurrency.h"
 
 namespace monoclass {
 
@@ -28,8 +29,15 @@ struct ContendingPartition {
 
 // Computes P^con in O(d n^2) time. Coordinate-equal pairs with opposite
 // labels are mutually contending (each weakly dominates the other).
+//
+// The O(n^2) dominance scan is row-partitioned across `parallel`
+// workers; whether point i is contending depends only on row i, so the
+// shards are independent and their index lists concatenate in shard
+// order to the same increasing sequence a serial scan produces.
+// threads = 1 (or a single shard) runs inline with no pool involvement.
 ContendingPartition ComputeContending(const PointSet& points,
-                                      const std::vector<Label>& labels);
+                                      const std::vector<Label>& labels,
+                                      const ParallelOptions& parallel = {});
 
 }  // namespace monoclass
 

@@ -3,8 +3,10 @@
 
 #include "passive/flow_solver.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "core/invariant_audit.h"
 #include "graph/flow_audit.h"
@@ -32,7 +34,8 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   {
     MC_SPAN("passive/contending");
     if (options.reduce_to_contending) {
-      active = ComputeContending(set.points(), set.labels()).contending;
+      active = ComputeContending(set.points(), set.labels(), options.parallel)
+                   .contending;
     } else {
       active.resize(n);
       std::iota(active.begin(), active.end(), size_t{0});
@@ -44,7 +47,8 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   result.num_contending =
       options.reduce_to_contending
           ? active.size()
-          : ComputeContending(set.points(), set.labels()).contending.size();
+          : ComputeContending(set.points(), set.labels(), options.parallel)
+                .contending.size();
   MC_HISTOGRAM("passive.contending_points", result.num_contending);
   MC_GAUGE("passive.contending_fraction",
            static_cast<double>(result.num_contending) /
@@ -69,17 +73,41 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
       }
       ++result.network_finite_edges;
     }
-    for (size_t a = 0; a < active.size(); ++a) {
-      const size_t p = active[a];
-      if (set.label(p) != 0) continue;
-      for (size_t b = 0; b < active.size(); ++b) {
-        const size_t q = active[b];
-        if (set.label(q) != 1 || p == q) continue;
-        if (DominatesEq(set.point(p), set.point(q))) {
-          network.AddEdge(static_cast<int>(a) + 2, static_cast<int>(b) + 2,
-                          infinite_capacity);
-          ++result.network_infinite_edges;
-        }
+    // Dominance-edge discovery is the O(n^2) part; it only *reads* the
+    // point set, so rows shard freely. Each shard records its (a, b)
+    // hits in a local buffer; the buffers are concatenated in shard
+    // order and only then inserted into the network, so the edge list
+    // (and the flow solver's traversal order) is bit-identical to the
+    // serial double loop at any thread count. FlowNetwork::AddEdge
+    // itself is unsynchronized by design -- it never runs concurrently.
+    const size_t num_active = active.size();
+    const size_t max_shards = std::max<size_t>(
+        size_t{1}, std::min<size_t>(options.parallel.Resolve(),
+                                    num_active == 0 ? 1 : num_active));
+    std::vector<std::vector<std::pair<size_t, size_t>>> shard_edges(
+        max_shards);
+    ParallelFor(num_active, options.parallel,
+                [&](size_t begin, size_t end, size_t shard) {
+                  MC_SPAN("par.dominance");
+                  std::vector<std::pair<size_t, size_t>>& edges =
+                      shard_edges[shard];
+                  for (size_t a = begin; a < end; ++a) {
+                    const size_t p = active[a];
+                    if (set.label(p) != 0) continue;
+                    for (size_t b = 0; b < num_active; ++b) {
+                      const size_t q = active[b];
+                      if (set.label(q) != 1 || p == q) continue;
+                      if (DominatesEq(set.point(p), set.point(q))) {
+                        edges.emplace_back(a, b);
+                      }
+                    }
+                  }
+                });
+    for (const auto& edges : shard_edges) {
+      for (const auto& [a, b] : edges) {
+        network.AddEdge(static_cast<int>(a) + 2, static_cast<int>(b) + 2,
+                        infinite_capacity);
+        ++result.network_infinite_edges;
       }
     }
   }

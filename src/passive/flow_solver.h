@@ -25,6 +25,7 @@
 #include "core/classifier.h"
 #include "core/dataset.h"
 #include "graph/max_flow.h"
+#include "util/concurrency.h"
 
 namespace monoclass {
 
@@ -35,6 +36,13 @@ struct PassiveSolveOptions {
   // all points (ablation knob for bench_passive_scaling; the answer is
   // identical, the network is just larger).
   bool reduce_to_contending = true;
+  // Parallelism for the O(n^2) phases: the contending scan and the
+  // dominance-edge construction. Both are row-partitioned with
+  // per-shard buffers concatenated in shard order, so the network (and
+  // hence the classifier) is bit-identical to the serial build at any
+  // thread count. threads = 1 forces the exact serial path; 0 =
+  // hardware concurrency. The max-flow solve itself stays serial.
+  ParallelOptions parallel;
 };
 
 struct PassiveSolveResult {

@@ -1,0 +1,205 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "util/concurrency.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace monoclass {
+namespace internal {
+namespace {
+
+std::atomic<ParallelTaskSink> g_task_sink{nullptr};
+
+// Workers flag themselves so nested parallel calls degrade to serial
+// instead of blocking on pool capacity.
+thread_local bool t_on_pool_thread = false;
+
+// Monotonic microsecond stamp for queue-wait measurement, epoch fixed at
+// first use (WallTimer is the sanctioned clock wrapper).
+double QueueClockMicros() {
+  static const WallTimer* epoch = new WallTimer();
+  return epoch->ElapsedMicros();
+}
+
+}  // namespace
+
+void SetParallelTaskSink(ParallelTaskSink sink) {
+  g_task_sink.store(sink, std::memory_order_relaxed);
+}
+
+bool OnPoolThread() { return t_on_pool_thread; }
+
+}  // namespace internal
+
+void CondVar::Wait(Mutex& mu) { cv_.wait(mu.mu_); }
+
+std::size_t ParallelOptions::Resolve() const {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  MC_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  MC_CHECK(task != nullptr);
+  {
+    MutexLock lock(mu_);
+    MC_CHECK(!shutdown_) << "Submit() on a shut-down ThreadPool";
+    queue_.push_back(QueuedTask{std::move(task),
+                                internal::QueueClockMicros()});
+  }
+  work_cv_.NotifyOne();
+}
+
+void ThreadPool::WorkerLoop() {
+  internal::t_on_pool_thread = true;
+  while (true) {
+    QueuedTask task;
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
+      if (queue_.empty()) return;  // shutdown and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const internal::ParallelTaskSink sink =
+        internal::g_task_sink.load(std::memory_order_relaxed);
+    if (sink != nullptr) {
+      sink(internal::QueueClockMicros() - task.enqueue_us);
+    }
+    task.fn();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Sized above the hardware so a `threads = 8` equivalence run is
+  // 8-wide even on small machines (idle workers just block on the
+  // condvar). Leaked deliberately: workers must outlive every static
+  // destructor that might still submit.
+  static ThreadPool* pool = new ThreadPool(std::max<std::size_t>(
+      ParallelOptions{}.Resolve(), 8));
+  return *pool;
+}
+
+namespace {
+
+// One ParallelFor/ParallelForEach invocation: `next` hands out item
+// indices (claim order may vary; item -> work mapping never does), the
+// mutex guards completion bookkeeping and the first captured exception.
+struct Region {
+  explicit Region(std::size_t n) : num_items(n) {}
+
+  std::function<void(std::size_t)> run_item;
+  const std::size_t num_items;
+  std::atomic<std::size_t> next{0};
+
+  Mutex mu;
+  CondVar done_cv;
+  std::size_t active_helpers MC_GUARDED_BY(mu) = 0;
+  std::exception_ptr first_error MC_GUARDED_BY(mu);
+};
+
+// Claims and runs items until the region is exhausted. Exceptions are
+// captured (first wins) instead of unwinding into the pool.
+void DrainRegion(const std::shared_ptr<Region>& region) {
+  while (true) {
+    const std::size_t item =
+        region->next.fetch_add(1, std::memory_order_relaxed);
+    if (item >= region->num_items) return;
+    try {
+      region->run_item(item);
+    } catch (...) {
+      MutexLock lock(region->mu);
+      if (region->first_error == nullptr) {
+        region->first_error = std::current_exception();
+      }
+    }
+  }
+}
+
+// Runs the region with `helpers` pool tasks plus the calling thread,
+// blocks until every item finished, and rethrows the first captured
+// exception on the calling thread.
+void RunRegion(const std::shared_ptr<Region>& region, std::size_t helpers) {
+  {
+    MutexLock lock(region->mu);
+    region->active_helpers = helpers;
+  }
+  for (std::size_t h = 0; h < helpers; ++h) {
+    ThreadPool::Shared().Submit([region] {
+      DrainRegion(region);
+      {
+        MutexLock lock(region->mu);
+        --region->active_helpers;
+      }
+      region->done_cv.NotifyAll();
+    });
+  }
+  DrainRegion(region);
+  std::exception_ptr error;
+  {
+    MutexLock lock(region->mu);
+    while (region->active_helpers != 0) region->done_cv.Wait(region->mu);
+    error = region->first_error;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+void ParallelFor(std::size_t n, const ParallelOptions& options,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t shards =
+      internal::OnPoolThread() ? 1 : std::min(options.Resolve(), n);
+  if (shards <= 1) {
+    fn(0, n, 0);  // the exact serial path: no pool, no locks
+    return;
+  }
+  auto region = std::make_shared<Region>(shards);
+  region->run_item = [n, shards, &fn](std::size_t shard) {
+    const std::size_t begin = shard * n / shards;
+    const std::size_t end = (shard + 1) * n / shards;
+    fn(begin, end, shard);
+  };
+  RunRegion(region, shards - 1);
+}
+
+void ParallelForEach(std::size_t n, const ParallelOptions& options,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      internal::OnPoolThread() ? 1 : std::min(options.Resolve(), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);  // exact serial path
+    return;
+  }
+  auto region = std::make_shared<Region>(n);
+  region->run_item = [&fn](std::size_t item) { fn(item); };
+  RunRegion(region, workers - 1);
+}
+
+}  // namespace monoclass

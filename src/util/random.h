@@ -47,6 +47,26 @@ class Rng {
     for (auto& word : state_) word = SplitMix64(sm);
   }
 
+  // Explicit stream splitting: the `stream_id`-th member of the
+  // generator family rooted at `seed`. Streams with the same seed and
+  // different ids are decorrelated (both inputs pass through SplitMix64
+  // before seeding, so nearby (seed, id) pairs map to unrelated states),
+  // and a given (seed, id) pair always yields the same sequence.
+  //
+  // This is the construction parallel code must use: give task i the
+  // generator Rng(seed, i) *derived from the task index*, never a fork
+  // of a shared generator taken inside the task (fork order under
+  // concurrency is nondeterministic) and never the same generator from
+  // two tasks (data race, correlated draws). See docs/concurrency.md.
+  Rng(uint64_t seed, uint64_t stream_id) {
+    uint64_t seed_state = seed;
+    uint64_t stream_state = stream_id;
+    uint64_t sm =
+        SplitMix64(seed_state) ^
+        (SplitMix64(stream_state) + 0x9e3779b97f4a7c15ULL);
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
   // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {
@@ -138,8 +158,11 @@ class Rng {
     }
   }
 
-  // Derives an independent child generator; useful for giving each trial or
-  // each chain its own stream without correlation.
+  // Derives an independent child generator from the *current state*;
+  // useful for sequential trial loops. NOT for parallel tasks: the child
+  // depends on how many draws preceded the fork, so concurrent forking
+  // is both racy and irreproducible -- parallel code must use the
+  // (seed, stream_id) constructor above instead.
   Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ULL); }
 
  private:

@@ -1,0 +1,82 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Clang thread-safety-analysis attribute macros (the MC_ prefix follows
+// the repo's macro convention). Annotating a mutex as a *capability* and
+// data as GUARDED_BY it turns lock-discipline violations into compile
+// errors under clang (-Wthread-safety, promoted to an error for all
+// clang builds by the top-level CMakeLists); GCC and MSVC see empty
+// macros and compile the same source unchanged.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+// The vocabulary (capability / acquire / release) matches the C++
+// standards-committee terminology the clang docs use, so an error such as
+//
+//   error: reading variable 'counters_' requires holding mutex 'mu_'
+//
+// maps 1:1 onto the annotations below. docs/concurrency.md walks through
+// reading these diagnostics.
+//
+// Only the subset this codebase uses is defined; extend as needed rather
+// than importing the full upstream header verbatim.
+
+#ifndef MONOCLASS_UTIL_THREAD_ANNOTATIONS_H_
+#define MONOCLASS_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define MC_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MC_THREAD_ANNOTATION__(x)  // no-op on GCC / MSVC
+#endif
+
+// Declares a type to be a capability (e.g. a mutex). `x` names the
+// capability kind in diagnostics: MC_CAPABILITY("mutex").
+#define MC_CAPABILITY(x) MC_THREAD_ANNOTATION__(capability(x))
+
+// Declares an RAII type whose constructor acquires and destructor
+// releases a capability (e.g. MutexLock).
+#define MC_SCOPED_CAPABILITY MC_THREAD_ANNOTATION__(scoped_lockable)
+
+// Data member / variable may only be accessed while holding `x`.
+#define MC_GUARDED_BY(x) MC_THREAD_ANNOTATION__(guarded_by(x))
+
+// Pointed-to data may only be accessed while holding `x`.
+#define MC_PT_GUARDED_BY(x) MC_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Function requires the listed capabilities to be held on entry (and
+// does not release them).
+#define MC_REQUIRES(...) \
+  MC_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+// Function acquires the listed capabilities and holds them on return.
+#define MC_ACQUIRE(...) \
+  MC_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+// Function releases the listed capabilities; they must be held on entry.
+#define MC_RELEASE(...) \
+  MC_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+// Function attempts to acquire the capability; holds it iff the return
+// value equals the first argument.
+#define MC_TRY_ACQUIRE(...) \
+  MC_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// Function may not be called while holding the listed capabilities
+// (deadlock / re-entrancy guard).
+#define MC_EXCLUDES(...) MC_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define MC_RETURN_CAPABILITY(x) MC_THREAD_ANNOTATION__(lock_returned(x))
+
+// Asserts at runtime that the calling thread holds the capability, and
+// tells the analysis so.
+#define MC_ASSERT_CAPABILITY(x) \
+  MC_THREAD_ANNOTATION__(assert_capability(x))
+
+// Escape hatch: disables analysis for one function. Use only for code
+// the analysis cannot model (e.g. a condition-variable wait that
+// releases and re-acquires internally) and say why at the use site.
+#define MC_NO_THREAD_SAFETY_ANALYSIS \
+  MC_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // MONOCLASS_UTIL_THREAD_ANNOTATIONS_H_

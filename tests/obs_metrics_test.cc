@@ -10,12 +10,12 @@
 #include <cmath>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "obs/obs.h"
+#include "util/concurrency.h"
 #include "util/json.h"
 
 namespace monoclass {
@@ -147,16 +147,15 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesDoNotRace) {
   histogram->Reset();
   constexpr int kThreads = 4;
   constexpr int kIters = 10000;
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&] {
-      for (int i = 0; i < kIters; ++i) {
-        counter->Add(1);
-        histogram->Observe(static_cast<double>(i % 7 + 1));
-      }
-    });
-  }
-  for (std::thread& thread : threads) thread.join();
+  // Concurrent updaters via the library's own pool (raw standard-library
+  // threads are banned outside util/concurrency; tools/lint.sh rule 6).
+  ParallelForEach(kThreads, ParallelOptions{.threads = kThreads},
+                  [&](size_t) {
+                    for (int i = 0; i < kIters; ++i) {
+                      counter->Add(1);
+                      histogram->Observe(static_cast<double>(i % 7 + 1));
+                    }
+                  });
   EXPECT_EQ(counter->Value(),
             static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kIters));
   EXPECT_EQ(histogram->Count(),

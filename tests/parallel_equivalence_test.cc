@@ -1,0 +1,235 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The determinism contract of docs/concurrency.md, enforced end to end:
+// the parallel hot paths (per-chain active solves in multi_d, the
+// contending scan and dominance-edge build in the passive flow solver)
+// must produce BIT-IDENTICAL results at every thread count. Each test
+// runs the same solve at threads in {1, 2, 8} -- threads = 1 is the
+// exact serial path -- and compares every observable output field, not
+// just the headline classifier.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "active/multi_d.h"
+#include "active/oracle.h"
+#include "core/paper_example.h"
+#include "data/synthetic.h"
+#include "passive/flow_solver.h"
+#include "util/concurrency.h"
+
+namespace monoclass {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+// Full observable-state comparison for an active solve.
+void ExpectSameActiveResult(const ActiveSolveResult& serial,
+                            const ActiveSolveResult& parallel,
+                            const PointSet& points, size_t threads) {
+  SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+  EXPECT_EQ(serial.probes, parallel.probes);
+  EXPECT_EQ(serial.num_chains, parallel.num_chains);
+  EXPECT_EQ(serial.total_levels, parallel.total_levels);
+  EXPECT_EQ(serial.full_probe_levels, parallel.full_probe_levels);
+  EXPECT_EQ(serial.sigma_error, parallel.sigma_error);  // exact, not near
+  EXPECT_TRUE(EquivalentOn(serial.classifier, parallel.classifier, points));
+  EXPECT_EQ(serial.classifier.generators(), parallel.classifier.generators());
+  // Sigma is merged in chain order, so entry order must match too.
+  ASSERT_EQ(serial.sigma.size(), parallel.sigma.size());
+  for (size_t i = 0; i < serial.sigma.size(); ++i) {
+    EXPECT_EQ(serial.sigma.point(i), parallel.sigma.point(i)) << "entry " << i;
+    EXPECT_EQ(serial.sigma.label(i), parallel.sigma.label(i)) << "entry " << i;
+    EXPECT_EQ(serial.sigma.weight(i), parallel.sigma.weight(i))
+        << "entry " << i;
+  }
+  // Per-chain probe accounting (the budget breakdown) is part of the
+  // contract: chain c's cost may not depend on who probed first.
+  EXPECT_EQ(serial.probe_budget.measured_probes,
+            parallel.probe_budget.measured_probes);
+  EXPECT_EQ(serial.probe_budget.per_chain_probes,
+            parallel.probe_budget.per_chain_probes);
+}
+
+void ExpectSamePassiveResult(const PassiveSolveResult& serial,
+                             const PassiveSolveResult& parallel,
+                             size_t threads) {
+  SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+  EXPECT_EQ(serial.optimal_weighted_error, parallel.optimal_weighted_error);
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+  EXPECT_EQ(serial.num_contending, parallel.num_contending);
+  EXPECT_EQ(serial.network_vertices, parallel.network_vertices);
+  EXPECT_EQ(serial.network_finite_edges, parallel.network_finite_edges);
+  EXPECT_EQ(serial.network_infinite_edges, parallel.network_infinite_edges);
+  EXPECT_EQ(serial.flow_value, parallel.flow_value);
+  EXPECT_EQ(serial.classifier.generators(), parallel.classifier.generators());
+}
+
+TEST(ParallelEquivalenceTest, ActiveMultiDOnPlantedInstance) {
+  PlantedOptions options;
+  options.num_points = 400;
+  options.dimension = 2;
+  options.noise_flips = 8;
+  options.seed = 7;
+  const PlantedInstance instance = GeneratePlanted(options);
+
+  ActiveSolveOptions solve_options;
+  solve_options.sampling = ActiveSamplingParams::Practical(1.0, 0.1);
+  solve_options.seed = 42;
+  solve_options.parallel.threads = 1;
+  InMemoryOracle serial_oracle(instance.data);
+  const ActiveSolveResult serial =
+      SolveActiveMultiD(instance.data.points(), serial_oracle, solve_options);
+
+  for (const size_t threads : kThreadCounts) {
+    solve_options.parallel.threads = threads;
+    InMemoryOracle oracle(instance.data);
+    const ActiveSolveResult parallel =
+        SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+    ExpectSameActiveResult(serial, parallel, instance.data.points(), threads);
+    EXPECT_EQ(serial_oracle.NumProbes(), oracle.NumProbes());
+  }
+}
+
+TEST(ParallelEquivalenceTest, ActiveMultiDOnChainInstance) {
+  ChainInstanceOptions options;
+  options.num_chains = 12;
+  options.chain_length = 60;
+  options.noise_per_chain = 2;
+  options.seed = 3;
+  const ChainInstance instance = GenerateChainInstance(options);
+
+  ActiveSolveOptions solve_options;
+  solve_options.sampling = ActiveSamplingParams::Practical(0.8, 0.1);
+  solve_options.seed = 5;
+  solve_options.precomputed_chains = instance.chains;
+  solve_options.parallel.threads = 1;
+  InMemoryOracle serial_oracle(instance.data);
+  const ActiveSolveResult serial =
+      SolveActiveMultiD(instance.data.points(), serial_oracle, solve_options);
+
+  for (const size_t threads : kThreadCounts) {
+    solve_options.parallel.threads = threads;
+    InMemoryOracle oracle(instance.data);
+    const ActiveSolveResult parallel =
+        SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+    ExpectSameActiveResult(serial, parallel, instance.data.points(), threads);
+  }
+}
+
+TEST(ParallelEquivalenceTest, ActiveMultiDOnPaperExample) {
+  const LabeledPointSet data = PaperFigure1Points();
+  ActiveSolveOptions solve_options;
+  solve_options.sampling = ActiveSamplingParams::Practical(0.5, 0.1);
+  solve_options.seed = 1;
+  solve_options.parallel.threads = 1;
+  InMemoryOracle serial_oracle(data);
+  const ActiveSolveResult serial =
+      SolveActiveMultiD(data.points(), serial_oracle, solve_options);
+  EXPECT_EQ(serial.num_chains, 6u);  // the paper's width
+
+  for (const size_t threads : kThreadCounts) {
+    solve_options.parallel.threads = threads;
+    InMemoryOracle oracle(data);
+    const ActiveSolveResult parallel =
+        SolveActiveMultiD(data.points(), oracle, solve_options);
+    ExpectSameActiveResult(serial, parallel, data.points(), threads);
+  }
+}
+
+// The noise realization of NoisyOracle is a pure function of (seed,
+// point index), so even the lie pattern -- not just the classifier --
+// must be identical whichever thread probes a point first.
+TEST(ParallelEquivalenceTest, NoisyOracleRealizesSameLiesAtAnyThreadCount) {
+  PlantedOptions options;
+  options.num_points = 300;
+  options.dimension = 2;
+  options.seed = 19;
+  const PlantedInstance instance = GeneratePlanted(options);
+
+  ActiveSolveOptions solve_options;
+  solve_options.sampling = ActiveSamplingParams::Practical(1.0, 0.1);
+  solve_options.seed = 23;
+  solve_options.parallel.threads = 1;
+  NoisyOracle serial_oracle(instance.data, 0.05, /*seed=*/99);
+  const ActiveSolveResult serial =
+      SolveActiveMultiD(instance.data.points(), serial_oracle, solve_options);
+
+  for (const size_t threads : kThreadCounts) {
+    solve_options.parallel.threads = threads;
+    NoisyOracle oracle(instance.data, 0.05, /*seed=*/99);
+    const ActiveSolveResult parallel =
+        SolveActiveMultiD(instance.data.points(), oracle, solve_options);
+    ExpectSameActiveResult(serial, parallel, instance.data.points(), threads);
+    EXPECT_EQ(serial_oracle.NumLies(), oracle.NumLies())
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalenceTest, PassiveFlowSolverOnPlantedInstance) {
+  PlantedOptions options;
+  options.num_points = 500;
+  options.dimension = 3;
+  options.noise_flips = 25;
+  options.seed = 13;
+  const PlantedInstance instance = GeneratePlanted(options);
+
+  PassiveSolveOptions solve_options;
+  solve_options.parallel.threads = 1;
+  const PassiveSolveResult serial =
+      SolvePassiveUnweighted(instance.data, solve_options);
+
+  for (const size_t threads : kThreadCounts) {
+    solve_options.parallel.threads = threads;
+    const PassiveSolveResult parallel =
+        SolvePassiveUnweighted(instance.data, solve_options);
+    ExpectSamePassiveResult(serial, parallel, threads);
+  }
+}
+
+TEST(ParallelEquivalenceTest, PassiveFlowSolverOnPaperWeightedExample) {
+  const WeightedPointSet weighted = PaperFigure1WeightedPoints();
+  PassiveSolveOptions solve_options;
+  solve_options.parallel.threads = 1;
+  const PassiveSolveResult serial =
+      SolvePassiveWeighted(weighted, solve_options);
+  EXPECT_DOUBLE_EQ(serial.optimal_weighted_error, 104.0);  // Figure 1(b)
+
+  for (const size_t threads : kThreadCounts) {
+    solve_options.parallel.threads = threads;
+    const PassiveSolveResult parallel =
+        SolvePassiveWeighted(weighted, solve_options);
+    ExpectSamePassiveResult(serial, parallel, threads);
+  }
+}
+
+// The no-reduction ablation exercises the parallel dominance build over
+// the full point set (a different row partition than the contending
+// subset), so cover it too.
+TEST(ParallelEquivalenceTest, PassiveFlowSolverWithoutContendingReduction) {
+  PlantedOptions options;
+  options.num_points = 200;
+  options.dimension = 2;
+  options.noise_flips = 10;
+  options.seed = 29;
+  const PlantedInstance instance = GeneratePlanted(options);
+
+  PassiveSolveOptions solve_options;
+  solve_options.reduce_to_contending = false;
+  solve_options.parallel.threads = 1;
+  const PassiveSolveResult serial =
+      SolvePassiveUnweighted(instance.data, solve_options);
+
+  for (const size_t threads : kThreadCounts) {
+    solve_options.parallel.threads = threads;
+    const PassiveSolveResult parallel =
+        SolvePassiveUnweighted(instance.data, solve_options);
+    ExpectSamePassiveResult(serial, parallel, threads);
+  }
+}
+
+}  // namespace
+}  // namespace monoclass

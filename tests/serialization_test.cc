@@ -201,6 +201,7 @@ TEST(RunManifestTest, MakeFillsBuildMetadata) {
   EXPECT_EQ(manifest.claim, "passive scaling claim");
   EXPECT_FALSE(manifest.git_sha.empty());
   EXPECT_FALSE(manifest.build_type.empty());
+  EXPECT_GE(manifest.threads, 1u);  // the machine's resolved default
 }
 
 TEST(RunManifestTest, JsonOutputParsesWithExpectedKeys) {
@@ -218,6 +219,10 @@ TEST(RunManifestTest, JsonOutputParsesWithExpectedKeys) {
   ASSERT_NE(doc->Find("git_sha"), nullptr);
   ASSERT_NE(doc->Find("build_type"), nullptr);
   ASSERT_NE(doc->Find("obs_enabled"), nullptr);
+  const JsonValue* threads = doc->Find("threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_TRUE(threads->is_number());
+  EXPECT_GE(threads->AsNumber(), 1.0);
   const JsonValue* params = doc->Find("params");
   ASSERT_NE(params, nullptr);
   EXPECT_EQ(params->Find("n")->AsString(), "4096");

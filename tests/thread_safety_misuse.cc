@@ -1,0 +1,56 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Proof that clang's thread-safety analysis is live in this build, not
+// just silently accepted annotation macros. The file plays both roles:
+//
+//   * compiled normally it is a well-locked program (the positive
+//     control: annotations present, analysis clean, binary exits 0);
+//   * compiled with -DMONOCLASS_EXPECT_THREAD_SAFETY_ERROR it contains
+//     one deliberate lock-discipline violation, and the
+//     thread_safety_negative_compile ctest (WILL_FAIL) asserts that
+//     clang REJECTS it under -Werror=thread-safety-analysis.
+//
+// If someone breaks the wiring -- drops the warning flag, stubs the
+// macros under clang, detaches the analysis from CI -- the negative
+// test starts compiling cleanly and fails the suite.
+
+#include "util/concurrency.h"
+#include "util/thread_annotations.h"
+
+namespace monoclass {
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int Balance() const {
+    MutexLock lock(mu_);
+    return balance_;
+  }
+
+#ifdef MONOCLASS_EXPECT_THREAD_SAFETY_ERROR
+  // Deliberate misuse: reads the guarded member with no lock held.
+  // Under clang this is error: reading variable 'balance_' requires
+  // holding mutex 'mu_' [-Werror,-Wthread-safety-analysis].
+  int RacyBalance() const { return balance_; }
+#endif
+
+ private:
+  mutable Mutex mu_;
+  int balance_ MC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+}  // namespace monoclass
+
+int main() {
+  monoclass::Account account;
+  account.Deposit(41);
+  account.Deposit(1);
+  return account.Balance() == 42 ? 0 : 1;
+}

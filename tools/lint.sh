@@ -15,7 +15,13 @@
 #   5. clock discipline -- no raw std::chrono::steady_clock::now()
 #                          outside src/util/timer.h and src/obs/ (timing
 #                          goes through WallTimer or obs spans so it is
-#                          traceable).
+#                          traceable);
+#   6. concurrency discipline -- no raw std::thread / std::mutex /
+#                          std::condition_variable / std::async /
+#                          std::lock_guard & friends outside
+#                          src/util/concurrency.{h,cc}: all locking and
+#                          threading goes through the annotated layer so
+#                          clang's thread-safety analysis sees it.
 #
 # Usage: lint.sh [REPO_ROOT]
 #   REPO_ROOT defaults to the repository containing this script. Pass a
@@ -143,6 +149,24 @@ for f in $(cxx_files); do
   esac
   if grep -qE 'steady_clock[[:space:]]*::[[:space:]]*now[[:space:]]*\(' "$f"; then
     fail "$f: raw steady_clock::now() -- use WallTimer (util/timer.h) or an obs span"
+  fi
+done
+
+# --- 6. concurrency discipline ------------------------------------------
+# Concurrency primitives used directly are invisible to the thread-safety
+# analysis and to the pool's task accounting. The annotated wrappers in
+# util/concurrency.h are the only sanctioned entry points; everything
+# else (including tests and benches) must go through them.
+# std::this_thread / std::thread::hardware_concurrency are deliberately
+# NOT banned: the pattern below requires a non-identifier character after
+# each banned name, so only the primitives themselves match.
+banned_concurrency='std::[[:space:]]*(thread|jthread|mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable|condition_variable_any|async|lock_guard|unique_lock|scoped_lock|shared_lock|promise|packaged_task)[^_[:alnum:]]'
+for f in $(cxx_files); do
+  case "$f" in
+    src/util/concurrency.h|src/util/concurrency.cc) continue ;;
+  esac
+  if grep -nE "$banned_concurrency" "$f" | grep -q .; then
+    fail "$f: raw standard-library concurrency primitive -- use Mutex/MutexLock/CondVar/ThreadPool/ParallelFor from util/concurrency.h (lint rule 6)"
   fi
 done
 

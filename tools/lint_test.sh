@@ -105,13 +105,43 @@ sed -i 's|#include "util/good.h"|#include "util/good.h"\n#include "util/timer.h"
   "$tmp/tree/src/monoclass.h"
 expect_pass "steady_clock::now() inside util/timer.h and src/obs/"
 
-# 9. A header the umbrella cannot reach.
+# 9a. Raw std::mutex outside util/concurrency (rule 6).
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline std::mutex g_mu;/' \
+  "$tmp/tree/src/util/good.h"
+expect_fail "library code declaring a raw std::mutex" \
+  "raw standard-library concurrency primitive"
+
+# 9b. Raw std::thread in a test file trips rule 6 too (the ban covers
+# tests and benches, not just src/).
+make_clean_tree
+mkdir -p "$tmp/tree/tests"
+header_boilerplate MONOCLASS_TESTS_SPAWNY_H_ > "$tmp/tree/tests/spawny.h"
+sed -i 's/int kNothing = 0;/inline void Spawn() { std::thread t([]{}); t.join(); }/' \
+  "$tmp/tree/tests/spawny.h"
+expect_fail "test code spawning a raw std::thread" \
+  "raw standard-library concurrency primitive"
+
+# 9c. The primitives are allowed inside src/util/concurrency.{h,cc}, and
+# std::this_thread does not trip the std::thread pattern.
+make_clean_tree
+header_boilerplate MONOCLASS_UTIL_CONCURRENCY_H_ \
+  > "$tmp/tree/src/util/concurrency.h"
+sed -i 's/int kNothing = 0;/inline std::mutex g_mu; inline void Park() { std::this_thread::yield(); }/' \
+  "$tmp/tree/src/util/concurrency.h"
+sed -i 's/int kNothing = 0;/inline void Park() { std::this_thread::yield(); }/' \
+  "$tmp/tree/src/util/good.h"
+sed -i 's|#include "util/good.h"|#include "util/good.h"\n#include "util/concurrency.h"|' \
+  "$tmp/tree/src/monoclass.h"
+expect_pass "std::mutex inside util/concurrency.h + std::this_thread elsewhere"
+
+# 10. A header the umbrella cannot reach.
 make_clean_tree
 header_boilerplate MONOCLASS_UTIL_ORPHAN_H_ > "$tmp/tree/src/util/orphan.h"
 expect_fail "a public header missing from the umbrella" \
   "not reachable from the src/monoclass.h umbrella"
 
-# 10. The real repository passes (same invariant the lint_check test runs,
+# 11. The real repository passes (same invariant the lint_check test runs,
 # but from the self-test's perspective: a regression here means the lint
 # and the tree disagree).
 if ! out="$(bash "$lint" 2>&1)"; then

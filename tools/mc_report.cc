@@ -68,6 +68,8 @@ void ValidateManifest(const JsonValue& manifest, Validator& v) {
   v.Require(manifest, "git_sha", JsonValue::Type::kString);
   v.Require(manifest, "build_type", JsonValue::Type::kString);
   v.Require(manifest, "obs_enabled", JsonValue::Type::kBool);
+  // Schema v2: every run records its worker-thread count.
+  v.Require(manifest, "threads", JsonValue::Type::kNumber);
   v.Require(manifest, "params", JsonValue::Type::kObject);
 }
 
@@ -176,6 +178,10 @@ void PrintBenchReport(const JsonValue& root) {
     const JsonValue* obs = manifest->Find("obs_enabled");
     if (obs != nullptr && obs->is_bool()) {
       std::cout << ", obs " << (obs->AsBool() ? "on" : "off");
+    }
+    const JsonValue* threads = manifest->Find("threads");
+    if (threads != nullptr && threads->is_number()) {
+      std::cout << ", threads " << static_cast<int>(threads->AsNumber());
     }
     std::cout << "\n";
   }
