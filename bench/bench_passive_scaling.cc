@@ -7,11 +7,14 @@
 // ablation (network size and runtime with/without Lemma 15) and verifies
 // the optimum against brute force at the smallest n.
 
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 #include "data/synthetic.h"
 #include "passive/brute_force.h"
+#include "passive/contending.h"
 #include "passive/flow_solver.h"
 #include "passive/staircase_2d.h"
 #include "util/concurrency.h"
@@ -102,6 +105,114 @@ void Run() {
                              ? "yes"
                              : "NO");
     }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection(
+      "network build: dense vs sparse chain relays (d = 2, 25% noise)");
+  {
+    // Both builders produce the identical min cut and classifier
+    // (tests/sparse_network_test.cc); what differs is the edge count:
+    // Theta(n^2) dominating pairs dense vs O(n w) relay-routed sparse.
+    TextTable table({"n", "contending", "chains", "inf-edges (dense)",
+                     "inf-edges (sparse)", "ratio", "ms (dense)",
+                     "ms (sparse)", "identical"});
+    for (const size_t n : {1024u, 2048u, 4096u}) {
+      PlantedOptions options;
+      options.num_points = n;
+      options.dimension = 2;
+      options.noise_flips = n / 4;
+      options.seed = 5 * n;
+      const PlantedInstance instance = GeneratePlanted(options);
+      PassiveSolveOptions dense;
+      dense.network = PassiveNetworkBuild::kDense;
+      PassiveSolveOptions sparse;
+      sparse.network = PassiveNetworkBuild::kSparseChainRelay;
+      obs::SpanTimer dense_timer("bench/solve_dense");
+      const auto dense_result = SolvePassiveUnweighted(instance.data, dense);
+      const double dense_ms = dense_timer.ElapsedMillis();
+      obs::SpanTimer sparse_timer("bench/solve_sparse");
+      const auto sparse_result = SolvePassiveUnweighted(instance.data, sparse);
+      const double sparse_ms = sparse_timer.ElapsedMillis();
+      table.AddRowValues(
+          n, sparse_result.num_contending, sparse_result.network_chains,
+          dense_result.network_infinite_edges,
+          sparse_result.network_infinite_edges,
+          FormatDouble(static_cast<double>(dense_result.network_infinite_edges) /
+                           static_cast<double>(std::max<size_t>(
+                               1, sparse_result.network_infinite_edges)),
+                       3),
+          FormatDouble(dense_ms, 4), FormatDouble(sparse_ms, 4),
+          sparse_result.assignment == dense_result.assignment ? "yes" : "NO");
+      if (sparse_result.assignment != dense_result.assignment) {
+        std::cerr << "bench_passive_scaling: sparse build diverged from "
+                     "dense at n = "
+                  << n << "\n";
+      }
+    }
+    bench::PrintTable(table);
+  }
+
+  bench::PrintSection(
+      "sparse scaling: n = 20000, ~all points contending (d = 2)");
+  {
+    // At this size the dense build is the wall (tens of millions of
+    // infinity edges); the dense pair count is *counted* by the same
+    // O(n^2) scan the dense builder would run, without materializing
+    // the network, and exported as mc.net.dense_pairs_counted so the
+    // O(n^2) -> O(n w) drop is visible in BENCH_E2.json.
+    PlantedOptions options;
+    options.num_points = 20000;
+    options.dimension = 2;
+    options.noise_flips = 10000;  // labels ~uniform: the adversarial regime
+    options.seed = 20000;
+    const PlantedInstance instance = GeneratePlanted(options);
+    const WeightedPointSet weighted =
+        WeightedPointSet::UnitWeights(instance.data);
+
+    PassiveSolveOptions sparse;
+    sparse.network = PassiveNetworkBuild::kSparseChainRelay;
+    obs::SpanTimer sparse_timer("bench/solve_sparse_20k");
+    const auto result = SolvePassiveUnweighted(instance.data, sparse);
+    const double sparse_ms = sparse_timer.ElapsedMillis();
+
+    obs::SpanTimer count_timer("bench/count_dense_pairs");
+    const auto active =
+        ComputeContending(weighted.points(), weighted.labels()).contending;
+    const size_t shards = std::max<size_t>(1, ParallelOptions{}.Resolve());
+    std::vector<size_t> shard_pairs(shards, 0);
+    ParallelFor(active.size(), ParallelOptions{},
+                [&](size_t begin, size_t end, size_t shard) {
+                  size_t pairs = 0;
+                  for (size_t a = begin; a < end; ++a) {
+                    const size_t p = active[a];
+                    if (weighted.label(p) != 0) continue;
+                    for (const size_t q : active) {
+                      if (weighted.label(q) == 1 &&
+                          DominatesEq(weighted.point(p), weighted.point(q))) {
+                        ++pairs;
+                      }
+                    }
+                  }
+                  shard_pairs[shard] = pairs;
+                });
+    size_t dense_pairs = 0;
+    for (const size_t pairs : shard_pairs) dense_pairs += pairs;
+    const double count_ms = count_timer.ElapsedMillis();
+    MC_COUNTER("mc.net.dense_pairs_counted", dense_pairs);
+
+    TextTable table({"contending", "chains", "relays", "inf-edges (sparse)",
+                     "dense pairs", "ratio", "k*", "ms (sparse solve)",
+                     "ms (dense pair scan)"});
+    table.AddRowValues(
+        result.num_contending, result.network_chains, result.network_relays,
+        result.network_infinite_edges, dense_pairs,
+        FormatDouble(static_cast<double>(dense_pairs) /
+                         static_cast<double>(std::max<size_t>(
+                             1, result.network_infinite_edges)),
+                     3),
+        static_cast<size_t>(result.optimal_weighted_error + 0.5),
+        FormatDouble(sparse_ms, 4), FormatDouble(count_ms, 4));
     bench::PrintTable(table);
   }
 

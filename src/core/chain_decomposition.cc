@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/chain_decomposition_2d.h"
 #include "core/dominance.h"
 #include "core/invariant_audit.h"
 #include "graph/path_cover.h"
@@ -67,6 +68,16 @@ ChainDecomposition GreedyChainDecomposition(const PointSet& points) {
   MC_AUDIT(AuditChainDecomposition(points, decomposition,
                                    /*expect_minimum=*/false));
   return decomposition;
+}
+
+ChainDecomposition ScalableChainDecomposition(const PointSet& points,
+                                              size_t exact_matching_limit) {
+  if (points.dimension() == 2) return MinimumChainDecomposition2D(points);
+  if (points.dimension() <= 1) return GreedyChainDecomposition(points);
+  if (points.size() <= exact_matching_limit) {
+    return MinimumChainDecomposition(points);
+  }
+  return GreedyChainDecomposition(points);
 }
 
 bool ValidateChainDecomposition(const PointSet& points,

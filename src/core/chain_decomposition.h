@@ -40,6 +40,21 @@ ChainDecomposition MinimumChainDecomposition(const PointSet& points);
 // bench_active_probes its downstream probe-cost effect.
 ChainDecomposition GreedyChainDecomposition(const PointSet& points);
 
+// Scalability front-end used by consumers that need *a* valid chain
+// decomposition with a good (not necessarily provably minimum) chain
+// count at any input size -- notably the sparse chain-relay network
+// builder (passive/sparse_network.h). Routing:
+//   * d == 2  -- the O(n log n) patience fast path (exactly w chains);
+//   * d <= 1  -- first-fit greedy over the sorted order (exactly 1 chain
+//               in a total order, so also minimum);
+//   * d >= 3, n <= exact_matching_limit -- Lemma 6 via Hopcroft-Karp
+//               (exactly w chains, O(d n^2 + n^2.5));
+//   * d >= 3, n >  exact_matching_limit -- first-fit greedy (>= w
+//               chains; consumers degrade gracefully in the chain
+//               count, they never lose correctness).
+ChainDecomposition ScalableChainDecomposition(const PointSet& points,
+                                              size_t exact_matching_limit);
+
 // Validates the three chain-decomposition invariants: partition (every
 // index exactly once), ordering (each chain ascends under weak dominance),
 // and non-empty chains.

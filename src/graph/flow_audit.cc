@@ -47,11 +47,47 @@ AuditResult AuditFlowConservation(const FlowNetwork& network, int source,
   return AuditResult::Ok();
 }
 
+namespace {
+
+// Relay purity for sparse chain-relay networks: vertices at or above
+// relay_vertex_begin must be non-terminal and must touch only
+// infinite-capacity original edges. With purity, a minimum cut (which by
+// Lemma 18 never pays an infinite edge) consists purely of point-
+// terminal edges, so the relay rewrite preserves the dense network's
+// cut structure exactly.
+AuditResult AuditRelayPurity(const FlowNetwork& network, int source, int sink,
+                             const FlowAuditOptions& options) {
+  const int relay_begin = options.relay_vertex_begin;
+  if (relay_begin < 0) return AuditResult::Ok();
+  if (source >= relay_begin || sink >= relay_begin) {
+    return AuditResult::Fail(
+        "relay purity violated: source or sink lies in the relay range");
+  }
+  for (int u = 0; u < network.NumVertices(); ++u) {
+    for (const auto& edge : network.adjacency(u)) {
+      if (edge.capacity <= 0.0) continue;  // reverse twin
+      if (u < relay_begin && edge.to < relay_begin) continue;
+      if (edge.capacity < options.infinity_threshold) {
+        std::ostringstream why;
+        why << "relay purity violated: edge " << u << " -> " << edge.to
+            << " touches a relay with finite capacity " << edge.capacity
+            << " (threshold " << options.infinity_threshold << ")";
+        return AuditResult::Fail(why.str());
+      }
+    }
+  }
+  return AuditResult::Ok();
+}
+
+}  // namespace
+
 AuditResult AuditMinCut(const FlowNetwork& network, int source, int sink,
                         double flow_value, const FlowAuditOptions& options) {
   AuditResult conservation =
       AuditFlowConservation(network, source, sink, flow_value, options);
   if (!conservation.ok) return conservation;
+  AuditResult purity = AuditRelayPurity(network, source, sink, options);
+  if (!purity.ok) return purity;
 
   const std::vector<bool> reachable = ResidualReachable(network, source);
   if (!reachable[static_cast<size_t>(source)]) {

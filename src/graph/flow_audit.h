@@ -28,6 +28,15 @@ struct FlowAuditOptions {
   // Absolute slack for capacity bounds; value comparisons additionally
   // scale it by max(1, |flow_value|).
   double tolerance = 1e-6;
+  // First relay vertex of a sparse chain-relay network
+  // (passive/sparse_network.h); -1 for networks without relays. When
+  // set, AuditMinCut additionally verifies relay purity: relays are
+  // neither source nor sink, and every original edge incident to a
+  // relay carries capacity >= infinity_threshold. Purity is what makes
+  // the relay rewrite cut-preserving -- no finite (cuttable) edge
+  // touches a relay, so every minimum cut of the relay network is a
+  // minimum cut of the dense network and vice versa.
+  int relay_vertex_begin = -1;
 };
 
 // Audits the flow axioms on a solved network: every forward edge carries
@@ -42,7 +51,8 @@ AuditResult AuditFlowConservation(const FlowNetwork& network, int source,
 //     maximum, Lemma 7);
 //   * the capacities of the original edges leaving the source side sum
 //     to `flow_value` (max-flow min-cut, Lemma 8);
-//   * no cut edge has capacity >= options.infinity_threshold (Lemma 18).
+//   * no cut edge has capacity >= options.infinity_threshold (Lemma 18);
+//   * when options.relay_vertex_begin >= 0, relay purity (see above).
 // Includes AuditFlowConservation, so one call per solve suffices.
 AuditResult AuditMinCut(const FlowNetwork& network, int source, int sink,
                         double flow_value, const FlowAuditOptions& options = {});

@@ -28,6 +28,7 @@
 #include "passive/contending.h"
 #include "passive/flow_solver.h"
 #include "passive/isotonic_1d.h"
+#include "passive/sparse_network.h"
 #include "passive/staircase_2d.h"
 #include "passive/threshold_index.h"
 

@@ -57,12 +57,34 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   // Step 2: build the network. Vertex 0 = source, 1 = sink, 2 + k = the
   // k-th active point. Type-3 edges get an effective infinity: one unit
   // above the total weight, so no minimum cut can afford one (Lemma 18).
+  // Either builder may materialize the dominance structure: the dense
+  // per-pair scan below or the O(n w) chain-relay construction of
+  // passive/sparse_network.h -- both produce the identical min cut and
+  // the identical classifier (docs/sparse_network.md).
   const int source = 0;
   const int sink = 1;
   const double infinite_capacity = set.TotalWeight() + 1.0;
-  FlowNetwork network(static_cast<int>(active.size()) + 2);
-  {
+  result.used_sparse_network =
+      options.network == PassiveNetworkBuild::kSparseChainRelay ||
+      (options.network == PassiveNetworkBuild::kAuto &&
+       active.size() >= options.sparse_auto_threshold);
+  FlowNetwork network(0);
+  [[maybe_unused]] int relay_begin = -1;  // consumed by MC_AUDIT below
+  if (result.used_sparse_network) {
+    SparseNetworkPlan plan = BuildSparseChainRelayNetwork(
+        set, active, infinite_capacity, options.parallel);
+    relay_begin = plan.relay_begin;
+    result.network_finite_edges = plan.finite_edges;
+    result.network_infinite_edges = plan.infinite_edges;
+    result.network_relays = plan.num_relays;
+    result.network_chains = plan.num_chains;
+    network = std::move(plan.network);
+    MC_COUNTER("mc.net.sparse_builds", 1);
+    MC_COUNTER("mc.net.relays", result.network_relays);
+    MC_COUNTER("mc.net.chains", result.network_chains);
+  } else {
     MC_SPAN("passive/build_network");
+    network = FlowNetwork(static_cast<int>(active.size()) + 2);
     for (size_t k = 0; k < active.size(); ++k) {
       const size_t i = active[k];
       const int vertex = static_cast<int>(k) + 2;
@@ -110,8 +132,12 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
         ++result.network_infinite_edges;
       }
     }
+    MC_COUNTER("mc.net.dense_builds", 1);
   }
   result.network_vertices = static_cast<size_t>(network.NumVertices());
+  MC_COUNTER("mc.net.vertices", result.network_vertices);
+  MC_COUNTER("mc.net.finite_edges", result.network_finite_edges);
+  MC_COUNTER("mc.net.infinite_edges", result.network_infinite_edges);
 
   // Step 3: max flow and the residual-reachability cut.
   {
@@ -121,7 +147,8 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   }
   MC_HISTOGRAM("passive.flow_value", result.flow_value);
   MC_AUDIT(AuditMinCut(network, source, sink, result.flow_value,
-                       {.infinity_threshold = infinite_capacity}));
+                       {.infinity_threshold = infinite_capacity,
+                        .relay_vertex_begin = relay_begin}));
   MC_SPAN("passive/extract_cut");
   const std::vector<bool> reachable = ResidualReachable(network, source);
 

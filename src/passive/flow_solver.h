@@ -25,6 +25,7 @@
 #include "core/classifier.h"
 #include "core/dataset.h"
 #include "graph/max_flow.h"
+#include "passive/sparse_network.h"
 #include "util/concurrency.h"
 
 namespace monoclass {
@@ -36,6 +37,13 @@ struct PassiveSolveOptions {
   // all points (ablation knob for bench_passive_scaling; the answer is
   // identical, the network is just larger).
   bool reduce_to_contending = true;
+  // How step 2 materializes the network: the Theta(n^2)-edge dense build
+  // or the O(n w) chain-relay build (passive/sparse_network.h). Both
+  // yield the identical min-cut value and the identical classifier;
+  // kAuto picks sparse at or above sparse_auto_threshold contending
+  // points.
+  PassiveNetworkBuild network = PassiveNetworkBuild::kAuto;
+  size_t sparse_auto_threshold = 1024;
   // Parallelism for the O(n^2) phases: the contending scan and the
   // dominance-edge construction. Both are row-partitioned with
   // per-shard buffers concatenated in shard order, so the network (and
@@ -52,11 +60,16 @@ struct PassiveSolveResult {
   // The explicit optimal 0/1 assignment over the input points.
   std::vector<Label> assignment;
 
-  // Diagnostics for the experiment harnesses.
+  // Diagnostics for the experiment harnesses. Relay/chain counts are
+  // zero for a dense build; network_infinite_edges counts dominating
+  // pairs when dense and relay-routed edges when sparse.
   size_t num_contending = 0;
   size_t network_vertices = 0;
   size_t network_finite_edges = 0;
   size_t network_infinite_edges = 0;
+  size_t network_relays = 0;
+  size_t network_chains = 0;
+  bool used_sparse_network = false;
   double flow_value = 0.0;
 };
 

@@ -1,0 +1,142 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "passive/sparse_network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/chain_decomposition.h"
+#include "obs/obs.h"
+
+namespace monoclass {
+namespace {
+
+// Largest t such that point >= points[active[members[t]]], or -1 when
+// point dominates no member. Dominance along a chain is prefix-closed
+// (members ascend under weak dominance, and >= is transitive), so the
+// predicate "dominated" is true on exactly a prefix of `members`.
+int HighestDominatedMember(const WeightedPointSet& set,
+                           const std::vector<size_t>& active,
+                           const std::vector<size_t>& members,
+                           const Point& point) {
+  int lo = -1;
+  int hi = static_cast<int>(members.size());
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (DominatesEq(point,
+                    set.point(active[members[static_cast<size_t>(mid)]]))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+SparseNetworkPlan BuildSparseChainRelayNetwork(
+    const WeightedPointSet& set, const std::vector<size_t>& active,
+    double infinite_capacity, const ParallelOptions& parallel) {
+  MC_SPAN("passive/build_sparse_network");
+  const size_t num_active = active.size();
+  SparseNetworkPlan plan;
+  plan.relay_begin = static_cast<int>(num_active) + 2;
+
+  // Decompose the active points into chains. Positions below are indices
+  // into `active` (the subset's own index space).
+  ChainDecomposition decomposition;
+  {
+    MC_SPAN("passive/sparse_chains");
+    decomposition = ScalableChainDecomposition(set.points().Subset(active),
+                                               kSparseExactMatchingLimit);
+  }
+  plan.num_chains = decomposition.NumChains();
+
+  // The label-1 members of each chain, in ascending chain order; each
+  // gets one relay. A chain's label-1 members form a chain themselves,
+  // so the binary-search prefix property carries over.
+  std::vector<std::vector<size_t>> members(decomposition.NumChains());
+  std::vector<size_t> relay_offset(decomposition.NumChains(), 0);
+  for (size_t c = 0; c < decomposition.chains.size(); ++c) {
+    relay_offset[c] = plan.num_relays;
+    for (const size_t k : decomposition.chains[c]) {
+      if (set.label(active[k]) == 1) members[c].push_back(k);
+    }
+    plan.num_relays += members[c].size();
+  }
+
+  const int source = 0;
+  const int sink = 1;
+  plan.network =
+      FlowNetwork(static_cast<int>(num_active + plan.num_relays) + 2);
+
+  // Terminal edges, in active order (matching the dense build).
+  for (size_t k = 0; k < num_active; ++k) {
+    const size_t i = active[k];
+    const int vertex = static_cast<int>(k) + 2;
+    if (set.label(i) == 0) {
+      plan.network.AddEdge(source, vertex, set.weight(i));
+    } else {
+      plan.network.AddEdge(vertex, sink, set.weight(i));
+    }
+    ++plan.finite_edges;
+  }
+
+  // Relay spines: each relay feeds its own label-1 point and the next
+  // relay down its chain.
+  for (size_t c = 0; c < members.size(); ++c) {
+    for (size_t t = 0; t < members[c].size(); ++t) {
+      const int relay = plan.relay_begin +
+                        static_cast<int>(relay_offset[c] + t);
+      plan.network.AddEdge(relay, static_cast<int>(members[c][t]) + 2,
+                           infinite_capacity);
+      ++plan.infinite_edges;
+      if (t > 0) {
+        plan.network.AddEdge(relay, relay - 1, infinite_capacity);
+        ++plan.infinite_edges;
+      }
+    }
+  }
+
+  // Per-point relay wiring: for every label-0 point, one binary search
+  // per chain. Rows only read the point set, so they shard freely; the
+  // per-shard hit lists concatenate in shard order, keeping the edge
+  // list bit-identical to the serial loop at any thread count (the same
+  // contract as the dense dominance scan in flow_solver.cc).
+  const size_t max_shards = std::max<size_t>(
+      size_t{1}, std::min<size_t>(parallel.Resolve(),
+                                  num_active == 0 ? 1 : num_active));
+  std::vector<std::vector<std::pair<size_t, size_t>>> shard_edges(max_shards);
+  ParallelFor(num_active, parallel,
+              [&](size_t begin, size_t end, size_t shard) {
+                MC_SPAN("par.sparse_relay_wiring");
+                std::vector<std::pair<size_t, size_t>>& edges =
+                    shard_edges[shard];
+                for (size_t k = begin; k < end; ++k) {
+                  if (set.label(active[k]) != 0) continue;
+                  const Point& point = set.point(active[k]);
+                  for (size_t c = 0; c < members.size(); ++c) {
+                    if (members[c].empty()) continue;
+                    const int t =
+                        HighestDominatedMember(set, active, members[c], point);
+                    if (t >= 0) {
+                      edges.emplace_back(
+                          k, relay_offset[c] + static_cast<size_t>(t));
+                    }
+                  }
+                }
+              });
+  for (const auto& edges : shard_edges) {
+    for (const auto& [k, relay] : edges) {
+      plan.network.AddEdge(static_cast<int>(k) + 2,
+                           plan.relay_begin + static_cast<int>(relay),
+                           infinite_capacity);
+      ++plan.infinite_edges;
+    }
+  }
+  return plan;
+}
+
+}  // namespace monoclass

@@ -1,0 +1,87 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Sparse dominance-flow networks via chain relays.
+//
+// The dense Theorem 4 build materializes one infinite-capacity edge per
+// dominating (label-0 p, label-1 q) pair -- Theta(n^2) edges, which caps
+// the n the passive solver scales to long before the max-flow solve
+// does. The paper's own machinery fixes this: a chain decomposition
+// (Lemma 6) totally orders each chain, so the transitive bundle of
+// infinite edges into a chain can be routed through one relay vertex per
+// label-1 chain member:
+//
+//   * relay r_c[t] owns the t-th label-1 point q_c[t] of chain c (chain
+//     order ascending under dominance) and feeds it: r_c[t] -> q_c[t];
+//   * relays chain downward, r_c[t] -> r_c[t-1], so reaching a relay
+//     reaches every label-1 point below it on the chain;
+//   * each label-0 point p gets one edge per chain, p -> r_c[t*], where
+//     t* is the highest t with p >= q_c[t] (binary search -- dominance
+//     along a chain is prefix-closed by transitivity).
+//
+// All relay-incident edges are infinite. Every dense pair p >= q is then
+// connected by an all-infinite path p -> r_c[t*] -> ... -> r_c[t] -> q,
+// and conversely any infinite path p ~> q certifies p >= q, so the
+// finite-cut structure -- and with it the min-cut value (Lemmas 7-8/18)
+// and the residual-reachability classifier (Lemma 16) -- is *identical*
+// to the dense network's. docs/sparse_network.md gives the argument in
+// full. Edge count drops from Theta(n^2) to O(n w) for width w.
+
+#ifndef MONOCLASS_PASSIVE_SPARSE_NETWORK_H_
+#define MONOCLASS_PASSIVE_SPARSE_NETWORK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+#include "graph/graph.h"
+#include "util/concurrency.h"
+
+namespace monoclass {
+
+// How SolvePassiveWeighted materializes the Theorem 4 flow network.
+enum class PassiveNetworkBuild {
+  // Dense below PassiveSolveOptions::sparse_auto_threshold contending
+  // points, sparse at or above it (the default).
+  kAuto,
+  // One infinite edge per dominating (label-0, label-1) pair: Theta(n^2)
+  // edges. Kept as the oracle the sparse build is tested against.
+  kDense,
+  // Per-chain relay vertices: O(n w) edges, identical min cut and
+  // identical optimal classifier.
+  kSparseChainRelay,
+};
+
+// A built chain-relay network plus its shape diagnostics. Vertex layout:
+// 0 = source, 1 = sink, 2 + k = the k-th active point, then all relays
+// in [relay_begin, NumVertices()).
+struct SparseNetworkPlan {
+  FlowNetwork network{0};
+  int relay_begin = 2;
+  size_t num_chains = 0;
+  size_t num_relays = 0;
+  size_t finite_edges = 0;
+  size_t infinite_edges = 0;
+};
+
+// Number of points a d >= 3 active set may have before the Lemma 6
+// matching-based minimum decomposition (O(n^2.5)) would cost more than
+// the dense build it is meant to avoid; larger sets fall back to the
+// greedy decomposition (see ScalableChainDecomposition).
+inline constexpr size_t kSparseExactMatchingLimit = 2048;
+
+// Builds the sparse chain-relay network over the points of `set` at the
+// indices in `active` (the Lemma 15 contending subset, in increasing
+// order). Terminal edges carry the point weights; every other edge
+// carries `infinite_capacity`. The per-point relay wiring (the dominant
+// O(n w log n) part) shards across `parallel` workers with per-shard
+// buffers merged in shard order, so the edge list -- and hence the max-
+// flow traversal order and the extracted classifier -- is bit-identical
+// to the serial build at every thread count.
+SparseNetworkPlan BuildSparseChainRelayNetwork(
+    const WeightedPointSet& set, const std::vector<size_t>& active,
+    double infinite_capacity, const ParallelOptions& parallel = {});
+
+}  // namespace monoclass
+
+#endif  // MONOCLASS_PASSIVE_SPARSE_NETWORK_H_

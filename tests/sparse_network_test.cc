@@ -1,0 +1,239 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Dense-vs-sparse equivalence for the chain-relay network builder
+// (passive/sparse_network.h). The sparse build must be *transparent*:
+// identical optimal weighted error, identical min-cut value and a
+// bit-identical optimal assignment across dimensions, max-flow backends
+// and thread counts -- plus structural checks on the relay network
+// itself (edge budget, relay purity, determinism of the build).
+
+#include "passive/sparse_network.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/flow_audit.h"
+#include "passive/contending.h"
+#include "passive/flow_solver.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace monoclass {
+namespace {
+
+PassiveSolveOptions DenseOptions() {
+  PassiveSolveOptions options;
+  options.network = PassiveNetworkBuild::kDense;
+  return options;
+}
+
+PassiveSolveOptions SparseOptions() {
+  PassiveSolveOptions options;
+  options.network = PassiveNetworkBuild::kSparseChainRelay;
+  return options;
+}
+
+TEST(SparseNetworkTest, BitIdenticalAcrossDimensionsBackendsAndThreads) {
+  Rng rng(2026);
+  for (const size_t d : {1u, 2u, 5u}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const size_t n = 20 + rng.UniformInt(60);
+      const auto set = testing_util::RandomWeightedSet(
+          rng, n, d, rng.UniformDoubleInRange(0.25, 0.75));
+      for (const MaxFlowAlgorithm algorithm : AllMaxFlowAlgorithms()) {
+        PassiveSolveOptions dense = DenseOptions();
+        dense.algorithm = algorithm;
+        const PassiveSolveResult reference = SolvePassiveWeighted(set, dense);
+        ASSERT_FALSE(reference.used_sparse_network);
+        for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+          PassiveSolveOptions sparse = SparseOptions();
+          sparse.algorithm = algorithm;
+          sparse.parallel.threads = threads;
+          const PassiveSolveResult result = SolvePassiveWeighted(set, sparse);
+          ASSERT_TRUE(result.used_sparse_network);
+          EXPECT_EQ(result.assignment, reference.assignment)
+              << "d=" << d << " trial=" << trial << " threads=" << threads;
+          EXPECT_DOUBLE_EQ(result.optimal_weighted_error,
+                           reference.optimal_weighted_error);
+          EXPECT_EQ(result.classifier.ClassifySet(set.points()),
+                    reference.classifier.ClassifySet(set.points()));
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseNetworkTest, IdenticalOnDuplicateHeavyGrids) {
+  // Coordinate collisions exercise the DominatesEq tie handling: equal
+  // points with opposite labels are mutually dominating, so the relay
+  // binary search must still find them.
+  Rng rng(73);
+  for (int trial = 0; trial < 30; ++trial) {
+    WeightedPointSet set;
+    const size_t n = 8 + rng.UniformInt(40);
+    for (size_t i = 0; i < n; ++i) {
+      set.Add(Point{static_cast<double>(rng.UniformInt(3)),
+                    static_cast<double>(rng.UniformInt(3))},
+              rng.Bernoulli(0.5) ? 1 : 0,
+              static_cast<double>(1 + rng.UniformInt(4)));
+    }
+    const auto dense = SolvePassiveWeighted(set, DenseOptions());
+    const auto sparse = SolvePassiveWeighted(set, SparseOptions());
+    EXPECT_EQ(sparse.assignment, dense.assignment) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(sparse.optimal_weighted_error,
+                     dense.optimal_weighted_error);
+  }
+}
+
+TEST(SparseNetworkTest, PlantedInstanceMatchesDenseAtScale) {
+  PlantedOptions options;
+  options.num_points = 2000;
+  options.dimension = 2;
+  options.noise_flips = 200;
+  options.seed = 11;
+  const PlantedInstance instance = GeneratePlanted(options);
+  const auto dense =
+      SolvePassiveUnweighted(instance.data, DenseOptions());
+  const auto sparse =
+      SolvePassiveUnweighted(instance.data, SparseOptions());
+  EXPECT_EQ(sparse.assignment, dense.assignment);
+  EXPECT_DOUBLE_EQ(sparse.optimal_weighted_error,
+                   dense.optimal_weighted_error);
+  EXPECT_DOUBLE_EQ(sparse.flow_value, dense.flow_value);
+  // The point of the construction: far fewer infinite edges.
+  EXPECT_LT(sparse.network_infinite_edges, dense.network_infinite_edges);
+}
+
+TEST(SparseNetworkTest, EdgeBudgetIsPointsTimesChains) {
+  // Per label-0 point at most one edge per chain, plus at most two relay
+  // edges per label-1 point (its feed edge and one spine hop).
+  Rng rng(97);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t d = 2 + rng.UniformInt(3);
+    const auto labeled = testing_util::RandomLabeledSet(rng, 120, d);
+    const auto set = WeightedPointSet::UnitWeights(labeled);
+    const auto active =
+        ComputeContending(set.points(), set.labels()).contending;
+    const SparseNetworkPlan plan =
+        BuildSparseChainRelayNetwork(set, active, set.TotalWeight() + 1.0);
+    EXPECT_LE(plan.infinite_edges,
+              active.size() * plan.num_chains + 2 * plan.num_relays);
+    EXPECT_EQ(plan.finite_edges, active.size());
+    EXPECT_EQ(plan.network.NumVertices(),
+              static_cast<int>(active.size() + plan.num_relays) + 2);
+  }
+}
+
+TEST(SparseNetworkTest, RelayPurityAuditPassesAndCatchesViolations) {
+  Rng rng(101);
+  const auto labeled = testing_util::RandomLabeledSet(rng, 60, 2);
+  const auto set = WeightedPointSet::UnitWeights(labeled);
+  const auto active =
+      ComputeContending(set.points(), set.labels()).contending;
+  ASSERT_GT(active.size(), 0u);
+  const double infinity = set.TotalWeight() + 1.0;
+  SparseNetworkPlan plan =
+      BuildSparseChainRelayNetwork(set, active, infinity);
+  FlowAuditOptions options;
+  options.infinity_threshold = infinity;
+  options.relay_vertex_begin = plan.relay_begin;
+  const double flow =
+      CreateMaxFlowSolver(MaxFlowAlgorithm::kDinic)->Solve(plan.network, 0, 1);
+  EXPECT_TRUE(AuditMinCut(plan.network, 0, 1, flow, options).ok);
+
+  // A finite-capacity edge touching a relay must be flagged.
+  ASSERT_GT(plan.num_relays, 0u);
+  plan.network.AddEdge(0, plan.relay_begin, 0.25);
+  plan.network.ResetFlow();
+  const double tainted_flow =
+      CreateMaxFlowSolver(MaxFlowAlgorithm::kDinic)->Solve(plan.network, 0, 1);
+  const AuditResult tainted =
+      AuditMinCut(plan.network, 0, 1, tainted_flow, options);
+  EXPECT_FALSE(tainted.ok);
+  EXPECT_NE(tainted.failure.find("relay purity"), std::string::npos);
+
+  // A source or sink inside the relay range must be flagged too.
+  FlowAuditOptions bad_range = options;
+  bad_range.relay_vertex_begin = 0;
+  EXPECT_FALSE(AuditMinCut(plan.network, 0, 1, tainted_flow, bad_range).ok);
+}
+
+TEST(SparseNetworkTest, BuildIsDeterministicAcrossThreadCounts) {
+  Rng rng(113);
+  const auto labeled = testing_util::RandomLabeledSet(rng, 200, 3);
+  const auto set = WeightedPointSet::UnitWeights(labeled);
+  const auto active =
+      ComputeContending(set.points(), set.labels()).contending;
+  const double infinity = set.TotalWeight() + 1.0;
+  ParallelOptions serial;
+  serial.threads = 1;
+  const SparseNetworkPlan reference =
+      BuildSparseChainRelayNetwork(set, active, infinity, serial);
+  for (const size_t threads : {size_t{2}, size_t{8}}) {
+    ParallelOptions parallel;
+    parallel.threads = threads;
+    const SparseNetworkPlan plan =
+        BuildSparseChainRelayNetwork(set, active, infinity, parallel);
+    ASSERT_EQ(plan.network.NumVertices(), reference.network.NumVertices());
+    EXPECT_EQ(plan.infinite_edges, reference.infinite_edges);
+    for (int v = 0; v < plan.network.NumVertices(); ++v) {
+      const auto& got = plan.network.adjacency(v);
+      const auto& want = reference.network.adjacency(v);
+      ASSERT_EQ(got.size(), want.size()) << "vertex " << v;
+      for (size_t e = 0; e < got.size(); ++e) {
+        EXPECT_EQ(got[e].to, want[e].to);
+        EXPECT_EQ(got[e].capacity, want[e].capacity);
+      }
+    }
+  }
+}
+
+TEST(SparseNetworkTest, AutoThresholdSelectsBuilder) {
+  PlantedOptions planted;
+  planted.num_points = 400;
+  planted.dimension = 2;
+  planted.noise_flips = 120;
+  planted.seed = 7;
+  const PlantedInstance instance = GeneratePlanted(planted);
+
+  PassiveSolveOptions below;
+  below.sparse_auto_threshold = 1000000;
+  EXPECT_FALSE(
+      SolvePassiveUnweighted(instance.data, below).used_sparse_network);
+
+  PassiveSolveOptions above;
+  above.sparse_auto_threshold = 1;
+  const auto sparse = SolvePassiveUnweighted(instance.data, above);
+  EXPECT_TRUE(sparse.used_sparse_network);
+  EXPECT_GT(sparse.network_relays, 0u);
+  EXPECT_GT(sparse.network_chains, 0u);
+  EXPECT_EQ(sparse.optimal_weighted_error,
+            SolvePassiveUnweighted(instance.data, below)
+                .optimal_weighted_error);
+}
+
+TEST(SparseNetworkTest, EmptyAndConflictFreeInputs) {
+  // No contending points: the sparse path must cope with an empty
+  // active set (and with active sets that have no label-1 members).
+  LabeledPointSet monotone;
+  monotone.Add(Point{0, 0}, 0);
+  monotone.Add(Point{1, 1}, 1);
+  const auto result = SolvePassiveUnweighted(monotone, SparseOptions());
+  EXPECT_TRUE(result.used_sparse_network);
+  EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+  EXPECT_EQ(result.network_relays, 0u);
+
+  // A single mutually-dominating duplicate pair: one relay, one cut.
+  WeightedPointSet pair;
+  pair.Add(Point{1, 1}, 1, 3.0);
+  pair.Add(Point{1, 1}, 0, 1.0);
+  const auto dup = SolvePassiveWeighted(pair, SparseOptions());
+  EXPECT_DOUBLE_EQ(dup.optimal_weighted_error, 1.0);
+  EXPECT_EQ(dup.assignment[0], 1);
+  EXPECT_EQ(dup.assignment[1], 1);
+  EXPECT_EQ(dup.network_relays, 1u);
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -111,9 +111,15 @@ void FuzzPassiveCrossSolver(Rng& rng) {
     PassiveSolveOptions options;
     options.algorithm = algorithm;
     options.reduce_to_contending = rng.Bernoulli(0.8);
+    // Half the solves route the dominance structure through chain
+    // relays; with MONOCLASS_AUDIT on, each one re-verifies relay
+    // purity and Lemmas 7/8/18 on the relay network.
+    options.network = rng.Bernoulli(0.5) ? PassiveNetworkBuild::kDense
+                                         : PassiveNetworkBuild::kSparseChainRelay;
     const PassiveSolveResult result = SolvePassiveWeighted(set, options);
     const std::string context =
-        "passive/" + CreateMaxFlowSolver(algorithm)->Name();
+        "passive/" + CreateMaxFlowSolver(algorithm)->Name() +
+        (result.used_sparse_network ? "/sparse" : "/dense");
     Report(AuditMonotone(result.classifier, set.points()), context);
     Expect(result.optimal_weighted_error >= -1e-9, context,
            "negative optimal error");
@@ -127,6 +133,28 @@ void FuzzPassiveCrossSolver(Rng& rng) {
                  " disagrees with reference " +
                  std::to_string(reference_error));
     }
+  }
+
+  // The sparse chain-relay network must be fully transparent: not just
+  // the same optimum, the same optimal assignment bit for bit.
+  {
+    PassiveSolveOptions dense;
+    dense.network = PassiveNetworkBuild::kDense;
+    PassiveSolveOptions sparse;
+    sparse.network = PassiveNetworkBuild::kSparseChainRelay;
+    sparse.parallel.threads = 1 + rng.UniformInt(4);
+    const PassiveSolveResult dense_result = SolvePassiveWeighted(set, dense);
+    const PassiveSolveResult sparse_result = SolvePassiveWeighted(set, sparse);
+    Expect(dense_result.assignment == sparse_result.assignment,
+           "passive/sparse_equivalence",
+           "sparse chain-relay assignment diverged from the dense build");
+    Expect(dense_result.optimal_weighted_error ==
+               sparse_result.optimal_weighted_error,
+           "passive/sparse_equivalence",
+           "sparse optimum " +
+               std::to_string(sparse_result.optimal_weighted_error) +
+               " != dense optimum " +
+               std::to_string(dense_result.optimal_weighted_error));
   }
 
   // Exponential ground truth on small instances.

@@ -7,6 +7,8 @@
 //
 // Usage:
 //   mc_report [--validate] file.json...
+//   mc_report --compare baseline.json current.json
+//             [--ignore prefix]... [--tolerance prefix=rel]...
 //
 // Without --validate, prints a human-readable summary of each file.
 // With --validate, checks each file against the expected schema and
@@ -15,11 +17,24 @@
 //   bench report  -- has "schema_version" and "phases"
 //   chrome trace  -- has "traceEvents"
 //   metrics dump  -- has "counters" / "gauges" / "histograms"
+//
+// With --compare, diffs two bench reports of the same experiment as a
+// deterministic regression gate: per-phase counter deltas and the final
+// counter/gauge snapshot must match exactly -- or within a declared
+// relative tolerance (--tolerance mc.net.=0.05) -- while keys under an
+// --ignore prefix (machine-dependent pool metrics, say) are skipped and
+// wall-clock timings are reported but never gate. Exits non-zero on any
+// drift, listing every drifted key. CI uses this to pin the network
+// edge/vertex counts of the checked-in BENCH_E*.json baselines.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,7 +46,13 @@ namespace {
 
 struct Options {
   bool validate = false;
+  bool compare = false;
   std::vector<std::string> files;
+  // --compare gating rules. Prefixes match the *metric* name (the
+  // counter/gauge key, e.g. "mc.par.pool.tasks"), not the phase name,
+  // so one --ignore silences a family across every phase.
+  std::vector<std::string> ignore_prefixes;
+  std::vector<std::pair<std::string, double>> tolerances;
 };
 
 // Collects human-readable schema complaints for one file.
@@ -270,6 +291,200 @@ void PrintMetricsDump(const JsonValue& root) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// --compare: deterministic bench-regression gate.
+
+// One gate-able value extracted from a bench report. `metric` is the
+// bare counter/gauge name (what --ignore / --tolerance match against);
+// `where` says which phase or snapshot section it came from.
+struct GatedValue {
+  std::string where;   // "phase <name>" or "snapshot counters" / "gauges"
+  std::string metric;  // e.g. "mc.net.infinite_edges"
+  double value = 0.0;
+};
+
+// Flattens the deterministic parts of a bench report: per-phase counter
+// deltas plus the final metrics counters/gauges snapshot. wall_ms and
+// histograms are intentionally absent -- timings never gate.
+std::map<std::string, GatedValue> FlattenBenchReport(const JsonValue& root) {
+  std::map<std::string, GatedValue> out;
+  const JsonValue* phases = root.Find("phases");
+  if (phases != nullptr && phases->is_array()) {
+    for (const JsonValue& phase : phases->AsArray()) {
+      if (!phase.is_object()) continue;
+      const JsonValue* name = phase.Find("name");
+      const JsonValue* counters = phase.Find("counters");
+      if (name == nullptr || !name->is_string() || counters == nullptr ||
+          !counters->is_object()) {
+        continue;
+      }
+      for (const auto& [key, value] : counters->AsObject()) {
+        if (!value.is_number()) continue;
+        out["phase " + name->AsString() + " / " + key] = GatedValue{
+            "phase " + name->AsString(), key, value.AsNumber()};
+      }
+    }
+  }
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    for (const char* section : {"counters", "gauges"}) {
+      const JsonValue* group = metrics->Find(section);
+      if (group == nullptr || !group->is_object()) continue;
+      for (const auto& [key, value] : group->AsObject()) {
+        if (!value.is_number()) continue;
+        out[std::string("snapshot ") + section + " / " + key] = GatedValue{
+            std::string("snapshot ") + section, key, value.AsNumber()};
+      }
+    }
+  }
+  return out;
+}
+
+bool MatchesPrefix(const std::string& metric,
+                   const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (metric.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+// Returns the relative tolerance for `metric`: the longest matching
+// --tolerance prefix wins; default 0 (exact).
+double ToleranceFor(const std::string& metric,
+                    const std::vector<std::pair<std::string, double>>& rules) {
+  size_t best_len = 0;
+  double best = 0.0;
+  for (const auto& [prefix, rel] : rules) {
+    if (metric.rfind(prefix, 0) == 0 && prefix.size() >= best_len) {
+      best_len = prefix.size();
+      best = rel;
+    }
+  }
+  return best;
+}
+
+std::optional<JsonValue> LoadJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto root = JsonValue::Parse(buffer.str(), &error);
+  if (!root.has_value()) {
+    std::cerr << path << ": invalid JSON: " << error << "\n";
+  }
+  return root;
+}
+
+int CompareBenchReports(const Options& options) {
+  const std::string& baseline_path = options.files[0];
+  const std::string& current_path = options.files[1];
+  const auto baseline = LoadJson(baseline_path);
+  const auto current = LoadJson(current_path);
+  if (!baseline.has_value() || !current.has_value()) return 1;
+  for (const auto& [path, root] :
+       {std::pair<const std::string&, const JsonValue&>{baseline_path,
+                                                        *baseline},
+        std::pair<const std::string&, const JsonValue&>{current_path,
+                                                        *current}}) {
+    if (SniffKind(root) != FileKind::kBench) {
+      std::cerr << path << ": not a bench report\n";
+      return 1;
+    }
+  }
+
+  size_t drifts = 0;
+  auto experiment = [](const JsonValue& root) -> std::string {
+    const JsonValue* manifest = root.Find("manifest");
+    const JsonValue* id =
+        manifest != nullptr ? manifest->Find("experiment") : nullptr;
+    return id != nullptr && id->is_string() ? id->AsString() : "?";
+  };
+  if (experiment(*baseline) != experiment(*current)) {
+    std::cerr << "DRIFT experiment id: baseline " << experiment(*baseline)
+              << " vs current " << experiment(*current) << "\n";
+    ++drifts;
+  }
+
+  const auto base_values = FlattenBenchReport(*baseline);
+  const auto cur_values = FlattenBenchReport(*current);
+  size_t compared = 0;
+  size_t ignored = 0;
+  for (const auto& [key, base] : base_values) {
+    if (MatchesPrefix(base.metric, options.ignore_prefixes)) {
+      ++ignored;
+      continue;
+    }
+    const auto it = cur_values.find(key);
+    if (it == cur_values.end()) {
+      std::cerr << "DRIFT " << key << ": present in baseline ("
+                << base.value << ") but missing from current run\n";
+      ++drifts;
+      continue;
+    }
+    ++compared;
+    const double rel = ToleranceFor(base.metric, options.tolerances);
+    const double allowed = rel * std::max(1.0, std::abs(base.value));
+    if (std::abs(it->second.value - base.value) > allowed) {
+      std::cerr << "DRIFT " << key << ": baseline " << base.value
+                << " vs current " << it->second.value
+                << (rel > 0.0
+                        ? " (tolerance " + std::to_string(rel) + " exceeded)"
+                        : " (exact match required)")
+                << "\n";
+      ++drifts;
+    }
+  }
+  for (const auto& [key, cur] : cur_values) {
+    if (MatchesPrefix(cur.metric, options.ignore_prefixes)) continue;
+    if (base_values.find(key) == base_values.end()) {
+      std::cerr << "DRIFT " << key << ": new in current run (" << cur.value
+                << "), absent from baseline\n";
+      ++drifts;
+    }
+  }
+
+  // Timings: informational only. Print side-by-side so a perf regression
+  // is visible in the CI log without ever failing the gate.
+  auto wall_by_phase = [](const JsonValue& root) {
+    std::map<std::string, double> out;
+    const JsonValue* phases = root.Find("phases");
+    if (phases == nullptr || !phases->is_array()) return out;
+    for (const JsonValue& phase : phases->AsArray()) {
+      const JsonValue* name = phase.Find("name");
+      const JsonValue* wall = phase.Find("wall_ms");
+      if (name != nullptr && name->is_string() && wall != nullptr &&
+          wall->is_number()) {
+        out[name->AsString()] = wall->AsNumber();
+      }
+    }
+    return out;
+  };
+  const auto base_wall = wall_by_phase(*baseline);
+  const auto cur_wall = wall_by_phase(*current);
+  std::cout << "timings (informational, never gate):\n";
+  for (const auto& [name, base_ms] : base_wall) {
+    const auto it = cur_wall.find(name);
+    if (it == cur_wall.end()) continue;
+    std::printf("  %-55s %10.3f -> %10.3f ms\n", name.c_str(), base_ms,
+                it->second);
+  }
+
+  std::cout << "compared " << compared << " value(s), ignored " << ignored
+            << ", " << drifts << " drift(s)\n";
+  if (drifts > 0) {
+    std::cerr << "mc_report --compare: FAIL (" << baseline_path << " vs "
+              << current_path << ")\n";
+    return 1;
+  }
+  std::cout << "mc_report --compare: OK (" << current_path
+            << " matches baseline " << baseline_path << ")\n";
+  return 0;
+}
+
 int ProcessFile(const std::string& path, bool validate) {
   std::ifstream in(path);
   if (!in) {
@@ -329,21 +544,68 @@ int ProcessFile(const std::string& path, bool validate) {
   return 0;
 }
 
+constexpr char kUsage[] =
+    "usage: mc_report [--validate] file.json...\n"
+    "       mc_report --compare baseline.json current.json\n"
+    "                 [--ignore prefix]... [--tolerance prefix=rel]...\n";
+
 int Main(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--validate") {
       options.validate = true;
+    } else if (arg == "--compare") {
+      options.compare = true;
+    } else if (arg == "--ignore") {
+      if (i + 1 >= argc) {
+        std::cerr << "--ignore needs a prefix argument\n" << kUsage;
+        return 2;
+      }
+      options.ignore_prefixes.emplace_back(argv[++i]);
+    } else if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::cerr << "--tolerance needs a prefix=rel argument\n" << kUsage;
+        return 2;
+      }
+      const std::string rule = argv[++i];
+      const size_t eq = rule.find('=');
+      char* end = nullptr;
+      const double rel =
+          eq == std::string::npos
+              ? -1.0
+              : std::strtod(rule.c_str() + eq + 1, &end);
+      if (eq == std::string::npos || rel < 0.0 || end == nullptr ||
+          *end != '\0') {
+        std::cerr << "malformed --tolerance rule \"" << rule
+                  << "\" (want prefix=rel with rel >= 0)\n" << kUsage;
+        return 2;
+      }
+      options.tolerances.emplace_back(rule.substr(0, eq), rel);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: mc_report [--validate] file.json...\n";
+      std::cout << kUsage;
       return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << arg << "\n" << kUsage;
+      return 2;
     } else {
       options.files.push_back(arg);
     }
   }
+  if (options.compare) {
+    if (options.validate || options.files.size() != 2) {
+      std::cerr << "--compare takes exactly a baseline and a current "
+                   "report\n" << kUsage;
+      return 2;
+    }
+    return CompareBenchReports(options);
+  }
+  if (!options.ignore_prefixes.empty() || !options.tolerances.empty()) {
+    std::cerr << "--ignore/--tolerance only apply to --compare\n" << kUsage;
+    return 2;
+  }
   if (options.files.empty()) {
-    std::cerr << "usage: mc_report [--validate] file.json...\n";
+    std::cerr << kUsage;
     return 2;
   }
   int status = 0;
