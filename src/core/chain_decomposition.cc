@@ -99,4 +99,35 @@ bool ValidateChainDecomposition(const PointSet& points,
   return true;
 }
 
+size_t ChainInsertPosition(const PointSet& points,
+                           const std::vector<size_t>& chain,
+                           const Point& point) {
+  // prefix_end = number of leading members weakly dominated by `point`.
+  size_t lo = 0;
+  size_t hi = chain.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (DominatesEq(point, points[chain[mid]])) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const size_t prefix_end = lo;
+  if (prefix_end == chain.size()) return prefix_end;  // extends the top
+  // suffix_begin = first member weakly dominating `point`.
+  lo = 0;
+  hi = chain.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (DominatesEq(points[chain[mid]], point)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const size_t suffix_begin = lo;
+  return suffix_begin <= prefix_end ? prefix_end : kNoChainPosition;
+}
+
 }  // namespace monoclass

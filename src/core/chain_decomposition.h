@@ -61,6 +61,21 @@ ChainDecomposition ScalableChainDecomposition(const PointSet& points,
 bool ValidateChainDecomposition(const PointSet& points,
                                 const ChainDecomposition& decomposition);
 
+// Sentinel returned by ChainInsertPosition when the point fits nowhere.
+inline constexpr size_t kNoChainPosition = static_cast<size_t>(-1);
+
+// Position at which `point` can be spliced into `chain` (indices into
+// `points`, ascending under weak dominance) so the chain stays a chain,
+// or kNoChainPosition when the point is incomparable with some member.
+// Two binary searches: the members weakly dominated by `point` form a
+// prefix (transitivity) and the members weakly dominating it a suffix,
+// so the point fits exactly when prefix end >= suffix start. This is the
+// incremental counterpart of the Lemma 6 decompositions: the delta
+// solver extends a chain in O(log |chain|) instead of re-decomposing.
+size_t ChainInsertPosition(const PointSet& points,
+                           const std::vector<size_t>& chain,
+                           const Point& point);
+
 }  // namespace monoclass
 
 #endif  // MONOCLASS_CORE_CHAIN_DECOMPOSITION_H_

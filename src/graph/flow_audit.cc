@@ -58,15 +58,25 @@ namespace {
 AuditResult AuditRelayPurity(const FlowNetwork& network, int source, int sink,
                              const FlowAuditOptions& options) {
   const int relay_begin = options.relay_vertex_begin;
-  if (relay_begin < 0) return AuditResult::Ok();
-  if (source >= relay_begin || sink >= relay_begin) {
+  const std::vector<bool>* mask = options.relay_vertices;
+  if (mask == nullptr && relay_begin < 0) return AuditResult::Ok();
+  if (mask != nullptr &&
+      mask->size() != static_cast<size_t>(network.NumVertices())) {
+    return AuditResult::Fail(
+        "relay purity audit: relay_vertices mask size does not match the "
+        "network's vertex count");
+  }
+  const auto is_relay = [&](int v) {
+    return mask != nullptr ? (*mask)[static_cast<size_t>(v)] : v >= relay_begin;
+  };
+  if (is_relay(source) || is_relay(sink)) {
     return AuditResult::Fail(
         "relay purity violated: source or sink lies in the relay range");
   }
   for (int u = 0; u < network.NumVertices(); ++u) {
     for (const auto& edge : network.adjacency(u)) {
       if (edge.capacity <= 0.0) continue;  // reverse twin
-      if (u < relay_begin && edge.to < relay_begin) continue;
+      if (!is_relay(u) && !is_relay(edge.to)) continue;
       if (edge.capacity < options.infinity_threshold) {
         std::ostringstream why;
         why << "relay purity violated: edge " << u << " -> " << edge.to

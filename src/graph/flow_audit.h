@@ -13,6 +13,7 @@
 #define MONOCLASS_GRAPH_FLOW_AUDIT_H_
 
 #include <limits>
+#include <vector>
 
 #include "graph/graph.h"
 #include "graph/max_flow.h"
@@ -37,6 +38,12 @@ struct FlowAuditOptions {
   // touches a relay, so every minimum cut of the relay network is a
   // minimum cut of the dense network and vice versa.
   int relay_vertex_begin = -1;
+  // Explicit per-vertex relay mask for networks whose relays are not a
+  // contiguous suffix -- the incremental solver allocates point and
+  // relay vertices interleaved as deltas arrive. When non-null it takes
+  // precedence over relay_vertex_begin and must outlive the audit call.
+  // Size must equal the network's vertex count.
+  const std::vector<bool>* relay_vertices = nullptr;
 };
 
 // Audits the flow axioms on a solved network: every forward edge carries
@@ -52,7 +59,8 @@ AuditResult AuditFlowConservation(const FlowNetwork& network, int source,
 //   * the capacities of the original edges leaving the source side sum
 //     to `flow_value` (max-flow min-cut, Lemma 8);
 //   * no cut edge has capacity >= options.infinity_threshold (Lemma 18);
-//   * when options.relay_vertex_begin >= 0, relay purity (see above).
+//   * when options.relay_vertex_begin >= 0 or options.relay_vertices is
+//     set, relay purity (see above).
 // Includes AuditFlowConservation, so one call per solve suffices.
 AuditResult AuditMinCut(const FlowNetwork& network, int source, int sink,
                         double flow_value, const FlowAuditOptions& options = {});

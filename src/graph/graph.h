@@ -58,6 +58,33 @@ class FlowNetwork {
     return forward_index;
   }
 
+  // Appends a fresh isolated vertex and returns its index. Incremental
+  // consumers (passive/incremental_solver.h) grow the network in place as
+  // points arrive instead of rebuilding it per delta.
+  int AddVertex() {
+    adjacency_.emplace_back();
+    return NumVertices() - 1;
+  }
+
+  // Removes the capacity of the forward edge `edge_index` of `u` (and of
+  // its reverse twin), leaving both as inert zero-capacity entries: the
+  // solvers, audits and ResidualReachable all skip edges with no residual
+  // and no capacity, so a deactivated edge behaves exactly like a reverse
+  // twin of a never-added edge. The caller must first drain any flow the
+  // edge carries (see IncrementalPassiveSolver::DrainEdge) -- deactivating
+  // a flow-carrying edge would silently break flow conservation.
+  void DeactivateEdge(int u, size_t edge_index) {
+    MC_CHECK(IsValidVertex(u));
+    auto& from_list = adjacency_[static_cast<size_t>(u)];
+    MC_CHECK_LT(edge_index, from_list.size());
+    Edge& edge = from_list[edge_index];
+    Edge& twin = adjacency_[static_cast<size_t>(edge.to)][edge.rev];
+    edge.capacity = 0.0;
+    edge.residual = 0.0;
+    twin.capacity = 0.0;
+    twin.residual = 0.0;
+  }
+
   int NumVertices() const { return static_cast<int>(adjacency_.size()); }
 
   // Total number of stored edges, counting reverse twins.

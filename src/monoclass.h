@@ -27,6 +27,7 @@
 #include "passive/brute_force.h"
 #include "passive/contending.h"
 #include "passive/flow_solver.h"
+#include "passive/incremental_solver.h"
 #include "passive/isotonic_1d.h"
 #include "passive/sparse_network.h"
 #include "passive/staircase_2d.h"

@@ -31,14 +31,8 @@ ContendingPartition ComputeContending(const PointSet& points,
     for (size_t i = begin; i < end; ++i) {
       bool contending = false;
       for (size_t j = 0; j < n && !contending; ++j) {
-        if (i == j || labels[j] == labels[i]) continue;
-        if (labels[i] == 0) {
-          // label-0 point dominating a label-1 point.
-          contending = DominatesEq(points[i], points[j]);
-        } else {
-          // label-1 point dominated by a label-0 point.
-          contending = DominatesEq(points[j], points[i]);
-        }
+        if (i == j) continue;
+        contending = LabelsConflict(points[i], labels[i], points[j], labels[j]);
       }
       if (contending) hits.push_back(i);
     }

@@ -20,6 +20,20 @@
 
 namespace monoclass {
 
+// The pair form of the contending predicate: true iff the labels differ
+// and the label-0 point weakly dominates the label-1 point (the pair is
+// then a dominance conflict and both endpoints are contending).
+// Coordinate-equal opposite-label pairs conflict in both orders. This is
+// the single shared definition behind the batch scan below and the
+// per-delta neighborhood scans of passive/incremental_solver.h.
+inline bool LabelsConflict(const Point& a, Label label_a, const Point& b,
+                           Label label_b) {
+  if (label_a == label_b) return false;
+  const Point& zero = label_a == 0 ? a : b;
+  const Point& one = label_a == 0 ? b : a;
+  return DominatesEq(zero, one);
+}
+
 struct ContendingPartition {
   // Indices of contending points, in increasing order.
   std::vector<size_t> contending;

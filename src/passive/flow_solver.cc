@@ -22,6 +22,27 @@ constexpr double kErrorCheckTolerance = 1e-6;
 
 }  // namespace
 
+double PassiveInfiniteCapacity(const WeightedPointSet& set) {
+  return set.TotalWeight() + 1.0;
+}
+
+void FinalizePassiveResult(const WeightedPointSet& set,
+                           PassiveSolveResult& result) {
+  auto classifier =
+      MonotoneClassifier::FromAssignment(set.points(), result.assignment);
+  MC_CHECK(classifier.has_value())
+      << "Lemma 16 violated: cut classifier is not monotone";
+  result.classifier = *std::move(classifier);
+
+  // Cross-check Lemma 17 + Lemma 15: the classifier's weighted error on the
+  // full set equals the max-flow (= min-cut) value.
+  result.optimal_weighted_error = WeightedError(result.classifier, set);
+  MC_CHECK_LE(std::abs(result.optimal_weighted_error - result.flow_value),
+              kErrorCheckTolerance * std::max(1.0, result.flow_value))
+      << "flow value disagrees with classifier error";
+  MC_AUDIT(AuditMonotone(result.classifier, set.points()));
+}
+
 PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
                                         const PassiveSolveOptions& options) {
   MC_CHECK(!set.empty());
@@ -63,7 +84,7 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   // the identical classifier (docs/sparse_network.md).
   const int source = 0;
   const int sink = 1;
-  const double infinite_capacity = set.TotalWeight() + 1.0;
+  const double infinite_capacity = PassiveInfiniteCapacity(set);
   result.used_sparse_network =
       options.network == PassiveNetworkBuild::kSparseChainRelay ||
       (options.network == PassiveNetworkBuild::kAuto &&
@@ -164,19 +185,7 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
     result.assignment[active[k]] = positive ? 1 : 0;
   }
 
-  auto classifier =
-      MonotoneClassifier::FromAssignment(set.points(), result.assignment);
-  MC_CHECK(classifier.has_value())
-      << "Lemma 16 violated: cut classifier is not monotone";
-  result.classifier = *std::move(classifier);
-
-  // Cross-check Lemma 17 + Lemma 15: the classifier's weighted error on the
-  // full set equals the max-flow (= min-cut) value.
-  result.optimal_weighted_error = WeightedError(result.classifier, set);
-  MC_CHECK_LE(std::abs(result.optimal_weighted_error - result.flow_value),
-              kErrorCheckTolerance * std::max(1.0, result.flow_value))
-      << "flow value disagrees with classifier error";
-  MC_AUDIT(AuditMonotone(result.classifier, set.points()));
+  FinalizePassiveResult(set, result);
   return result;
 }
 

@@ -73,6 +73,22 @@ struct PassiveSolveResult {
   double flow_value = 0.0;
 };
 
+// The effective infinity for type-3 (dominance) edges: one unit above the
+// total weight, so no minimum cut can afford one (Lemma 18). Shared by the
+// cold solver and the incremental solver so both networks are built to the
+// same threshold.
+double PassiveInfiniteCapacity(const WeightedPointSet& set);
+
+// Steps the solver pipeline from an optimal 0/1 assignment to a finished
+// result: builds the monotone classifier (Lemma 16), recomputes the
+// weighted error from the classifier, and cross-checks it against
+// result.flow_value (Lemmas 15/17) within the solver's tolerance.
+// `result.assignment` and `result.flow_value` must be populated. Shared
+// with passive/incremental_solver.h, which is what makes the warm path's
+// classifier construction bit-identical to the cold solver's.
+void FinalizePassiveResult(const WeightedPointSet& set,
+                           PassiveSolveResult& result);
+
 // Solves Problem 2 exactly. Requires a non-empty input.
 PassiveSolveResult SolvePassiveWeighted(
     const WeightedPointSet& set, const PassiveSolveOptions& options = {});

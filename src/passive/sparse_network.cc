@@ -10,31 +10,24 @@
 #include "obs/obs.h"
 
 namespace monoclass {
-namespace {
 
-// Largest t such that point >= points[active[members[t]]], or -1 when
-// point dominates no member. Dominance along a chain is prefix-closed
-// (members ascend under weak dominance, and >= is transitive), so the
-// predicate "dominated" is true on exactly a prefix of `members`.
-int HighestDominatedMember(const WeightedPointSet& set,
-                           const std::vector<size_t>& active,
-                           const std::vector<size_t>& members,
-                           const Point& point) {
-  int lo = -1;
-  int hi = static_cast<int>(members.size());
-  while (hi - lo > 1) {
-    const int mid = lo + (hi - lo) / 2;
-    if (DominatesEq(point,
-                    set.point(active[members[static_cast<size_t>(mid)]]))) {
-      lo = mid;
+size_t HighestDominatedPosition(const PointSet& points,
+                                const std::vector<size_t>& members,
+                                const Point& point) {
+  // The predicate "point >= members[t]" holds on exactly a prefix of the
+  // chain (members ascend under weak dominance, and >= is transitive).
+  size_t lo = 0;
+  size_t hi = members.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (DominatesEq(point, points[members[mid]])) {
+      lo = mid + 1;
     } else {
       hi = mid;
     }
   }
-  return lo;
+  return lo == 0 ? kNoDominatedMember : lo - 1;
 }
-
-}  // namespace
 
 SparseNetworkPlan BuildSparseChainRelayNetwork(
     const WeightedPointSet& set, const std::vector<size_t>& active,
@@ -58,11 +51,17 @@ SparseNetworkPlan BuildSparseChainRelayNetwork(
   // gets one relay. A chain's label-1 members form a chain themselves,
   // so the binary-search prefix property carries over.
   std::vector<std::vector<size_t>> members(decomposition.NumChains());
+  // The same members as indices into set.points(), for the shared
+  // HighestDominatedPosition binary search.
+  std::vector<std::vector<size_t>> global_members(decomposition.NumChains());
   std::vector<size_t> relay_offset(decomposition.NumChains(), 0);
   for (size_t c = 0; c < decomposition.chains.size(); ++c) {
     relay_offset[c] = plan.num_relays;
     for (const size_t k : decomposition.chains[c]) {
-      if (set.label(active[k]) == 1) members[c].push_back(k);
+      if (set.label(active[k]) == 1) {
+        members[c].push_back(k);
+        global_members[c].push_back(active[k]);
+      }
     }
     plan.num_relays += members[c].size();
   }
@@ -119,11 +118,10 @@ SparseNetworkPlan BuildSparseChainRelayNetwork(
                   const Point& point = set.point(active[k]);
                   for (size_t c = 0; c < members.size(); ++c) {
                     if (members[c].empty()) continue;
-                    const int t =
-                        HighestDominatedMember(set, active, members[c], point);
-                    if (t >= 0) {
-                      edges.emplace_back(
-                          k, relay_offset[c] + static_cast<size_t>(t));
+                    const size_t t = HighestDominatedPosition(
+                        set.points(), global_members[c], point);
+                    if (t != kNoDominatedMember) {
+                      edges.emplace_back(k, relay_offset[c] + t);
                     }
                   }
                 }

@@ -70,6 +70,21 @@ struct SparseNetworkPlan {
 // greedy decomposition (see ScalableChainDecomposition).
 inline constexpr size_t kSparseExactMatchingLimit = 2048;
 
+// Sentinel returned by HighestDominatedPosition when `point` dominates
+// no member.
+inline constexpr size_t kNoDominatedMember = static_cast<size_t>(-1);
+
+// Largest position t such that point >= points[members[t]], where
+// `members` lists point indices in ascending chain order. Dominance
+// along a chain is prefix-closed (transitivity), so one binary search
+// suffices. This is the relay-targeting rule: a label-0 point wires to
+// the relay of the highest chain member it dominates, both in the batch
+// builder below and in the per-delta rewiring of
+// passive/incremental_solver.h.
+size_t HighestDominatedPosition(const PointSet& points,
+                                const std::vector<size_t>& members,
+                                const Point& point);
+
 // Builds the sparse chain-relay network over the points of `set` at the
 // indices in `active` (the Lemma 15 contending subset, in increasing
 // order). Terminal edges carry the point weights; every other edge

@@ -12,6 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "data/synthetic.h"
 #include "graph/flow_audit.h"
 #include "passive/contending.h"
@@ -233,6 +236,81 @@ TEST(SparseNetworkTest, EmptyAndConflictFreeInputs) {
   EXPECT_EQ(dup.assignment[0], 1);
   EXPECT_EQ(dup.assignment[1], 1);
   EXPECT_EQ(dup.network_relays, 1u);
+}
+
+TEST(SparseNetworkTest, DirectBuildOnEmptyActiveSet) {
+  // The builder itself (not just the solver wrapper) must accept an
+  // empty contending set: just source and sink, no edges, no chains.
+  WeightedPointSet set;
+  set.Add(Point{0, 0}, 0, 1.0);
+  set.Add(Point{1, 1}, 1, 1.0);
+  SparseNetworkPlan plan = BuildSparseChainRelayNetwork(
+      set, /*active=*/{}, set.TotalWeight() + 1.0);
+  EXPECT_EQ(plan.network.NumVertices(), 2);
+  EXPECT_EQ(plan.finite_edges, 0u);
+  EXPECT_EQ(plan.infinite_edges, 0u);
+  EXPECT_EQ(plan.num_chains, 0u);
+  EXPECT_EQ(plan.num_relays, 0u);
+  const double flow =
+      CreateMaxFlowSolver(MaxFlowAlgorithm::kDinic)->Solve(plan.network, 0, 1);
+  EXPECT_DOUBLE_EQ(flow, 0.0);
+}
+
+TEST(SparseNetworkTest, HighestDominatedPositionOnEmptyChain) {
+  // The wiring rule's binary search must answer "no member" on an empty
+  // chain rather than walking off the end -- the case the incremental
+  // solver hits whenever a chain is drained of members and reused.
+  PointSet points;
+  points.Add(Point{1, 1});
+  EXPECT_EQ(HighestDominatedPosition(points, /*members=*/{}, points[0]),
+            kNoDominatedMember);
+}
+
+TEST(SparseNetworkTest, AllDuplicateMultisetMixedLabels) {
+  // Every point identical: all points are pairwise mutually dominating,
+  // so with both labels present EVERY point is contending, the chain
+  // decomposition collapses to one chain, and the optimum pays the
+  // lighter label side (the whole conflict is one clique).
+  Rng rng(131);
+  for (int trial = 0; trial < 10; ++trial) {
+    WeightedPointSet set;
+    double zero_weight = 0.0;
+    double one_weight = 0.0;
+    const size_t n = 4 + rng.UniformInt(20);
+    size_t ones = 0;
+    for (size_t i = 0; i < n; ++i) {
+      // Force at least one point of each label.
+      const Label label = i == 0 ? 0 : (i == 1 ? 1 : rng.Bernoulli(0.5));
+      const double weight = rng.UniformDoubleInRange(0.5, 3.0);
+      (label == 0 ? zero_weight : one_weight) += weight;
+      ones += label;
+      set.Add(Point{2.0, 3.0}, label, weight);
+    }
+    const auto sparse = SolvePassiveWeighted(set, SparseOptions());
+    const auto dense = SolvePassiveWeighted(set, DenseOptions());
+    EXPECT_EQ(sparse.assignment, dense.assignment) << "trial " << trial;
+    EXPECT_EQ(sparse.num_contending, n);
+    EXPECT_EQ(sparse.network_chains, 1u);
+    EXPECT_EQ(sparse.network_relays, ones);
+    EXPECT_NEAR(sparse.optimal_weighted_error,
+                std::min(zero_weight, one_weight), 1e-9);
+  }
+}
+
+TEST(SparseNetworkTest, AllDuplicateMultisetSingleLabel) {
+  // All duplicates, one label: nothing conflicts, so nothing is
+  // contending and the sparse build degenerates to the empty network.
+  for (const Label label : {Label{0}, Label{1}}) {
+    WeightedPointSet set;
+    for (int i = 0; i < 6; ++i) {
+      set.Add(Point{1.5, 0.5}, label, 2.0);
+    }
+    const auto result = SolvePassiveWeighted(set, SparseOptions());
+    EXPECT_DOUBLE_EQ(result.optimal_weighted_error, 0.0);
+    EXPECT_EQ(result.num_contending, 0u);
+    EXPECT_EQ(result.network_relays, 0u);
+    EXPECT_EQ(result.assignment, std::vector<Label>(6, label));
+  }
 }
 
 }  // namespace

@@ -21,7 +21,18 @@
 // every internal solve, and under ASan/UBSan/TSan the same run doubles as
 // a memory/UB sweep. Exits non-zero on the first violation.
 //
-// Usage: audit_fuzz [--iters=N] [--seed=S] [--verbose]
+// The incremental mode (--incremental) fuzzes the warm-start delta
+// pipeline instead: random insert/erase/relabel streams replayed through
+// IncrementalPassiveSolver with every step cross-checked against cold
+// solves on BOTH network builds (dense and sparse chain-relay), plus the
+// AuditIncrementalCut proof obligation at the end of each stream. Deltas
+// address their targets by rank among the live ids, so any subsequence
+// of a failing stream is itself valid -- on a violation the driver
+// ddmin-shrinks the stream to a minimal repro and prints it. Incremental
+// streams also run as part of the default rotation.
+//
+// Usage: audit_fuzz [--iters=N] [--seed=S] [--verbose] [--incremental]
+//                   [--budget-seconds=S]
 
 #include <algorithm>
 #include <cmath>
@@ -41,6 +52,11 @@ struct FuzzOptions {
   uint64_t iters = 50;
   uint64_t seed = 1;
   bool verbose = false;
+  // Run only the incremental-solver delta-stream fuzzer.
+  bool incremental = false;
+  // When > 0, loop until this wall-clock budget is spent instead of a
+  // fixed iteration count (the CI smoke job's knob).
+  double budget_seconds = 0.0;
 };
 
 // Minimal flag parsing; aborts on unknown flags so CI typos fail loudly.
@@ -54,9 +70,14 @@ FuzzOptions ParseFlags(int argc, char** argv) {
       options.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else if (arg == "--verbose") {
       options.verbose = true;
+    } else if (arg == "--incremental") {
+      options.incremental = true;
+    } else if (arg.rfind("--budget-seconds=", 0) == 0) {
+      options.budget_seconds = std::strtod(argv[i] + 17, nullptr);
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
-                << "usage: audit_fuzz [--iters=N] [--seed=S] [--verbose]\n";
+                << "usage: audit_fuzz [--iters=N] [--seed=S] [--verbose] "
+                   "[--incremental] [--budget-seconds=S]\n";
       std::exit(2);
     }
   }
@@ -242,6 +263,223 @@ void FuzzActiveSolve(Rng& rng) {
          "active error beats the exact optimum (accounting bug)");
 }
 
+// ---- Incremental warm-start fuzzing ------------------------------------
+
+// A delta in replayable form. Erase/relabel address their target by rank
+// among the live ids at apply time (id = live[rank % live_count]), so
+// any subsequence of a failing stream is itself a valid stream -- the
+// property the shrinker relies on. Targeted deltas on an empty solver
+// degrade to no-ops for the same reason.
+struct FuzzDelta {
+  int kind = 0;  // 0 = insert, 1 = erase, 2 = relabel
+  std::vector<double> coords;  // insert only
+  Label label = 0;             // insert / relabel
+  double weight = 1.0;         // insert only
+  uint64_t rank = 0;           // erase / relabel target rank
+};
+
+struct FuzzInitialPoint {
+  std::vector<double> coords;
+  Label label = 0;
+  double weight = 1.0;
+};
+
+struct IncrementalScenario {
+  size_t threads = 1;
+  std::vector<FuzzInitialPoint> initial;
+  std::vector<FuzzDelta> deltas;
+};
+
+std::string DescribeCoords(const std::vector<double>& coords) {
+  std::string out = "(";
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(coords[i]);
+  }
+  return out + ")";
+}
+
+std::string DescribeScenario(const IncrementalScenario& scenario) {
+  std::string out = "  threads=" + std::to_string(scenario.threads) + "\n";
+  for (const FuzzInitialPoint& p : scenario.initial) {
+    out += "  init " + DescribeCoords(p.coords) +
+           " label=" + std::to_string(p.label) +
+           " weight=" + std::to_string(p.weight) + "\n";
+  }
+  for (const FuzzDelta& delta : scenario.deltas) {
+    if (delta.kind == 0) {
+      out += "  insert " + DescribeCoords(delta.coords) +
+             " label=" + std::to_string(delta.label) +
+             " weight=" + std::to_string(delta.weight) + "\n";
+    } else if (delta.kind == 1) {
+      out += "  erase rank=" + std::to_string(delta.rank) + "\n";
+    } else {
+      out += "  relabel rank=" + std::to_string(delta.rank) +
+             " label=" + std::to_string(delta.label) + "\n";
+    }
+  }
+  return out;
+}
+
+// Replays the scenario through an IncrementalPassiveSolver,
+// cross-checking the warm solution against cold solves on BOTH network
+// builds after every delta, and closing with the full
+// AuditIncrementalCut proof. Returns "" on success, else a description
+// of the first divergence.
+std::string ReplayIncremental(const IncrementalScenario& scenario) {
+  IncrementalSolveOptions options;
+  options.parallel.threads = scenario.threads;
+  IncrementalPassiveSolver solver(options);
+  for (const FuzzInitialPoint& p : scenario.initial) {
+    solver.Insert(Point(p.coords), p.label, p.weight);
+  }
+
+  const auto check = [&solver](const std::string& where) -> std::string {
+    const PassiveSolveResult& warm = solver.Solve();
+    if (solver.LiveSize() == 0) {
+      if (warm.optimal_weighted_error != 0.0 || !warm.assignment.empty()) {
+        return where + ": empty snapshot solved to a nonzero answer";
+      }
+      return "";
+    }
+    const WeightedPointSet snapshot = solver.Snapshot();
+    for (const PassiveNetworkBuild build :
+         {PassiveNetworkBuild::kDense,
+          PassiveNetworkBuild::kSparseChainRelay}) {
+      PassiveSolveOptions cold_options;
+      cold_options.network = build;
+      const PassiveSolveResult cold =
+          SolvePassiveWeighted(snapshot, cold_options);
+      const std::string label =
+          build == PassiveNetworkBuild::kDense ? "dense" : "sparse";
+      if (warm.assignment != cold.assignment) {
+        return where + ": assignment diverged from cold " + label + " solve";
+      }
+      if (warm.optimal_weighted_error != cold.optimal_weighted_error) {
+        return where + ": error " +
+               std::to_string(warm.optimal_weighted_error) +
+               " != cold " + label + " error " +
+               std::to_string(cold.optimal_weighted_error);
+      }
+      if (!EquivalentOn(warm.classifier, cold.classifier,
+                        snapshot.points())) {
+        return where + ": classifier diverged from cold " + label + " solve";
+      }
+    }
+    return "";
+  };
+
+  std::string failure = check("after bulk load");
+  if (!failure.empty()) return failure;
+  for (size_t i = 0; i < scenario.deltas.size(); ++i) {
+    const FuzzDelta& delta = scenario.deltas[i];
+    if (delta.kind == 0) {
+      solver.Insert(Point(delta.coords), delta.label, delta.weight);
+    } else {
+      const std::vector<size_t> live = solver.LiveIds();
+      if (!live.empty()) {
+        const size_t id = live[delta.rank % live.size()];
+        if (delta.kind == 1) {
+          solver.Erase(id);
+        } else {
+          solver.Relabel(id, delta.label);
+        }
+      }
+    }
+    failure = check("delta " + std::to_string(i));
+    if (!failure.empty()) return failure;
+  }
+  const AuditResult audit = solver.AuditIncrementalCut();
+  if (!audit.ok) return "final cut audit: " + audit.failure;
+  return "";
+}
+
+// ddmin-lite: greedily drop single deltas, then single initial points,
+// re-running the replay after each candidate removal, until no single
+// removal still reproduces a failure. The replay budget bounds shrink
+// time on long streams.
+IncrementalScenario ShrinkScenario(IncrementalScenario scenario) {
+  size_t replays = 0;
+  constexpr size_t kMaxReplays = 400;
+  bool progress = true;
+  while (progress && replays < kMaxReplays) {
+    progress = false;
+    for (size_t i = scenario.deltas.size(); i-- > 0;) {
+      if (++replays > kMaxReplays) break;
+      IncrementalScenario candidate = scenario;
+      candidate.deltas.erase(candidate.deltas.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (!ReplayIncremental(candidate).empty()) {
+        scenario = std::move(candidate);
+        progress = true;
+      }
+    }
+    for (size_t i = scenario.initial.size(); i-- > 0;) {
+      if (++replays > kMaxReplays) break;
+      IncrementalScenario candidate = scenario;
+      candidate.initial.erase(candidate.initial.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      if (!ReplayIncremental(candidate).empty()) {
+        scenario = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return scenario;
+}
+
+void FuzzIncrementalSolver(Rng& rng) {
+  const size_t d = 1 + rng.UniformInt(3);
+  const bool unit_weights = rng.Bernoulli(0.3);
+  const auto grid_coords = [&rng, d] {
+    std::vector<double> coords(d);
+    for (auto& c : coords) {
+      c = static_cast<double>(rng.UniformInt(8)) / 4.0;
+    }
+    return coords;
+  };
+
+  IncrementalScenario scenario;
+  const size_t thread_choices[] = {1, 2, 8};
+  scenario.threads = thread_choices[rng.UniformInt(3)];
+  const size_t n0 = rng.UniformInt(16);
+  for (size_t i = 0; i < n0; ++i) {
+    scenario.initial.push_back(
+        {.coords = grid_coords(),
+         .label = rng.Bernoulli(0.5) ? Label{1} : Label{0},
+         .weight = unit_weights ? 1.0 : rng.UniformDoubleInRange(0.1, 4.0)});
+  }
+  const size_t steps = 10 + rng.UniformInt(25);
+  for (size_t i = 0; i < steps; ++i) {
+    FuzzDelta delta;
+    const uint64_t op = rng.UniformInt(10);
+    if (op < 4) {
+      delta.kind = 0;
+      delta.coords = grid_coords();
+      delta.label = rng.Bernoulli(0.5) ? 1 : 0;
+      delta.weight = unit_weights ? 1.0 : rng.UniformDoubleInRange(0.1, 4.0);
+    } else if (op < 7) {
+      delta.kind = 1;
+      delta.rank = rng.UniformInt(1u << 20);
+    } else {
+      delta.kind = 2;
+      delta.rank = rng.UniformInt(1u << 20);
+      delta.label = rng.Bernoulli(0.5) ? 1 : 0;
+    }
+    scenario.deltas.push_back(std::move(delta));
+  }
+
+  const std::string failure = ReplayIncremental(scenario);
+  if (!failure.empty()) {
+    ++g_violations;
+    const IncrementalScenario minimal = ShrinkScenario(scenario);
+    std::cerr << "INCREMENTAL VIOLATION: " << failure << "\n"
+              << "minimal repro (fails with: " << ReplayIncremental(minimal)
+              << "):\n"
+              << DescribeScenario(minimal);
+  }
+}
+
 }  // namespace
 }  // namespace monoclass
 
@@ -250,19 +488,31 @@ int main(int argc, char** argv) {
   const FuzzOptions options = ParseFlags(argc, argv);
   Rng master(options.seed);
 
-  for (uint64_t iter = 0; iter < options.iters; ++iter) {
+  WallTimer timer;
+  uint64_t iter = 0;
+  const auto keep_going = [&options, &timer, &iter] {
+    return options.budget_seconds > 0.0
+               ? timer.ElapsedSeconds() < options.budget_seconds
+               : iter < options.iters;
+  };
+  for (; keep_going(); ++iter) {
     Rng iteration_rng = master.Fork();
     const size_t before = g_violations;
-    FuzzPassiveCrossSolver(iteration_rng);
-    FuzzChainDecompositions(iteration_rng);
-    FuzzActiveSolve(iteration_rng);
+    if (options.incremental) {
+      FuzzIncrementalSolver(iteration_rng);
+    } else {
+      FuzzPassiveCrossSolver(iteration_rng);
+      FuzzChainDecompositions(iteration_rng);
+      FuzzActiveSolve(iteration_rng);
+      FuzzIncrementalSolver(iteration_rng);
+    }
     if (options.verbose || g_violations != before) {
       std::cout << "iter " << iter << ": "
                 << (g_violations == before ? "ok" : "VIOLATIONS") << "\n";
     }
   }
 
-  std::cout << "audit_fuzz: " << options.iters << " iterations, "
+  std::cout << "audit_fuzz: " << iter << " iterations, "
             << g_violations << " violation(s)"
             << (MC_AUDIT_ENABLED ? " [MONOCLASS_AUDIT on]"
                                  : " [MONOCLASS_AUDIT off]")
