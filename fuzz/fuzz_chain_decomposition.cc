@@ -1,0 +1,71 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Differential fuzz harness for the chain-decomposition layer.
+//
+// Decodes an arbitrary point set and runs every decomposition path --
+// the Lemma 6 matching-based minimum, the greedy first-fit baseline,
+// the ScalableChainDecomposition router (forced down both its exact and
+// its greedy branch), and for d == 2 the patience fast path -- feeding
+// every result to AuditChainDecomposition (partition, chain ordering,
+// Dilworth minimality certificates) and cross-checking the chain counts
+// against each other: greedy >= minimum, patience == minimum.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_util.h"
+#include "monoclass.h"
+
+namespace monoclass {
+namespace fuzz {
+namespace {
+
+void FuzzOne(const uint8_t* data, size_t size) {
+  FuzzInput in(data, size);
+  const PointSet points = DecodePointSet(in, 1, 64, 4);
+
+  const ChainDecomposition minimum = MinimumChainDecomposition(points);
+  FuzzRequireAudit(
+      AuditChainDecomposition(points, minimum, /*expect_minimum=*/true),
+      "chains/minimum");
+
+  const ChainDecomposition greedy = GreedyChainDecomposition(points);
+  FuzzRequireAudit(
+      AuditChainDecomposition(points, greedy, /*expect_minimum=*/false),
+      "chains/greedy");
+  FuzzExpect(greedy.NumChains() >= minimum.NumChains(), "chains/greedy",
+             "greedy produced fewer chains than the minimum decomposition");
+
+  // The scalability router, forced down both branches: a limit above n
+  // routes d >= 3 inputs through the exact matching path, a limit of 0
+  // through the first-fit fallback. Both must stay valid decompositions.
+  for (const size_t limit : {points.size() + 1, size_t{0}}) {
+    const ChainDecomposition scalable =
+        ScalableChainDecomposition(points, limit);
+    FuzzRequireAudit(
+        AuditChainDecomposition(points, scalable, /*expect_minimum=*/false),
+        "chains/scalable(limit=" + std::to_string(limit) + ")");
+    FuzzExpect(scalable.NumChains() >= minimum.NumChains(), "chains/scalable",
+               "scalable router produced fewer chains than the minimum");
+  }
+
+  if (points.dimension() == 2) {
+    const ChainDecomposition patience = MinimumChainDecomposition2D(points);
+    FuzzRequireAudit(
+        AuditChainDecomposition(points, patience, /*expect_minimum=*/true),
+        "chains/patience2d");
+    FuzzExpect(patience.NumChains() == minimum.NumChains(), "chains/patience2d",
+               "patience chain count disagrees with the Lemma 6 path");
+  }
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace monoclass
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  monoclass::fuzz::FuzzOne(data, size);
+  return 0;
+}

@@ -144,6 +144,12 @@ class IncrementalPassiveSolver {
   size_t DeadEdgeEntries() const { return dead_edge_entries_; }
 
  private:
+  // White-box seam for tests/audit_failure_test.cc: the negative audit
+  // tests corrupt the repaired flow state directly and prove that
+  // AuditIncrementalCut actually fires on a bad cut (a green audit is
+  // only evidence if the audit demonstrably rejects corruption).
+  friend struct IncrementalSolverTestPeer;
+
   static constexpr size_t kNone = static_cast<size_t>(-1);
   static constexpr int kSource = 0;
   static constexpr int kSink = 1;

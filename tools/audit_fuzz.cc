@@ -23,26 +23,40 @@
 //
 // The incremental mode (--incremental) fuzzes the warm-start delta
 // pipeline instead: random insert/erase/relabel streams replayed through
-// IncrementalPassiveSolver with every step cross-checked against cold
-// solves on BOTH network builds (dense and sparse chain-relay), plus the
-// AuditIncrementalCut proof obligation at the end of each stream. Deltas
-// address their targets by rank among the live ids, so any subsequence
-// of a failing stream is itself valid -- on a violation the driver
-// ddmin-shrinks the stream to a minimal repro and prints it. Incremental
-// streams also run as part of the default rotation.
+// IncrementalPassiveSolver via the shared fuzz/fuzz_util.h scenario
+// codec, every step cross-checked against cold solves on BOTH network
+// builds, with ddmin shrinking on failure. Incremental streams also run
+// as part of the default rotation.
+//
+// Every mode is seeded independently per iteration (a splitmix64 of
+// --seed and the iteration number), so a failure is reproducible from
+// the mode name and one 64-bit seed alone. With --crash-dir=DIR (default
+// DIR=crashes when running under --budget-seconds) each failure is
+// persisted as a replayable artifact:
+//
+//   * incremental failures -> the ddmin-minimal delta stream, encoded
+//     with fuzz_util.h's invertible codec. The file is byte-compatible
+//     with the fuzz_incremental harness (corpus or direct replay) and
+//     with --replay below.
+//   * other modes -> a one-line text stub "audit_fuzz-replay-v1
+//     mode=<m> seed=<n>" that --replay re-executes exactly.
 //
 // Usage: audit_fuzz [--iters=N] [--seed=S] [--verbose] [--incremental]
-//                   [--budget-seconds=S]
+//                   [--budget-seconds=S] [--crash-dir=DIR] [--replay=FILE]
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "fuzz/fuzz_util.h"
 #include "monoclass.h"
 
 namespace monoclass {
@@ -57,6 +71,11 @@ struct FuzzOptions {
   // When > 0, loop until this wall-clock budget is spent instead of a
   // fixed iteration count (the CI smoke job's knob).
   double budget_seconds = 0.0;
+  // Where failing inputs are persisted; empty disables persistence
+  // (budget runs default to "crashes").
+  std::string crash_dir;
+  // When non-empty, replay this artifact instead of fuzzing.
+  std::string replay;
 };
 
 // Minimal flag parsing; aborts on unknown flags so CI typos fail loudly.
@@ -74,12 +93,20 @@ FuzzOptions ParseFlags(int argc, char** argv) {
       options.incremental = true;
     } else if (arg.rfind("--budget-seconds=", 0) == 0) {
       options.budget_seconds = std::strtod(argv[i] + 17, nullptr);
+    } else if (arg.rfind("--crash-dir=", 0) == 0) {
+      options.crash_dir = std::string(arg.substr(12));
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      options.replay = std::string(arg.substr(9));
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: audit_fuzz [--iters=N] [--seed=S] [--verbose] "
-                   "[--incremental] [--budget-seconds=S]\n";
+                   "[--incremental] [--budget-seconds=S] [--crash-dir=DIR] "
+                   "[--replay=FILE]\n";
       std::exit(2);
     }
+  }
+  if (options.crash_dir.empty() && options.budget_seconds > 0.0) {
+    options.crash_dir = "crashes";
   }
   return options;
 }
@@ -115,7 +142,7 @@ WeightedPointSet RandomWeightedSet(Rng& rng, size_t n, size_t d,
     }
     const Label label = rng.Bernoulli(0.5) ? 1 : 0;
     const double weight =
-        unit_weights ? 1.0 : rng.UniformDoubleInRange(0.1, 4.0);
+        unit_weights ? 1.0 : static_cast<double>(1 + rng.UniformInt(40)) / 10.0;
     set.Add(Point(std::move(coords)), label, weight);
   }
   return set;
@@ -264,172 +291,20 @@ void FuzzActiveSolve(Rng& rng) {
 }
 
 // ---- Incremental warm-start fuzzing ------------------------------------
+//
+// Scenario representation, replay (warm vs cold differential on both
+// network builds + AuditIncrementalCut) and ddmin shrinking live in
+// fuzz/fuzz_util.h, shared with the fuzz_incremental libFuzzer harness.
+// Generation stays on the codec's grids (coarse coords, 0.1-step
+// weights, bounded stream lengths) so every failing scenario encodes
+// losslessly into a replayable artifact.
 
-// A delta in replayable form. Erase/relabel address their target by rank
-// among the live ids at apply time (id = live[rank % live_count]), so
-// any subsequence of a failing stream is itself a valid stream -- the
-// property the shrinker relies on. Targeted deltas on an empty solver
-// degrade to no-ops for the same reason.
-struct FuzzDelta {
-  int kind = 0;  // 0 = insert, 1 = erase, 2 = relabel
-  std::vector<double> coords;  // insert only
-  Label label = 0;             // insert / relabel
-  double weight = 1.0;         // insert only
-  uint64_t rank = 0;           // erase / relabel target rank
-};
-
-struct FuzzInitialPoint {
-  std::vector<double> coords;
-  Label label = 0;
-  double weight = 1.0;
-};
-
-struct IncrementalScenario {
-  size_t threads = 1;
-  std::vector<FuzzInitialPoint> initial;
-  std::vector<FuzzDelta> deltas;
-};
-
-std::string DescribeCoords(const std::vector<double>& coords) {
-  std::string out = "(";
-  for (size_t i = 0; i < coords.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += std::to_string(coords[i]);
-  }
-  return out + ")";
-}
-
-std::string DescribeScenario(const IncrementalScenario& scenario) {
-  std::string out = "  threads=" + std::to_string(scenario.threads) + "\n";
-  for (const FuzzInitialPoint& p : scenario.initial) {
-    out += "  init " + DescribeCoords(p.coords) +
-           " label=" + std::to_string(p.label) +
-           " weight=" + std::to_string(p.weight) + "\n";
-  }
-  for (const FuzzDelta& delta : scenario.deltas) {
-    if (delta.kind == 0) {
-      out += "  insert " + DescribeCoords(delta.coords) +
-             " label=" + std::to_string(delta.label) +
-             " weight=" + std::to_string(delta.weight) + "\n";
-    } else if (delta.kind == 1) {
-      out += "  erase rank=" + std::to_string(delta.rank) + "\n";
-    } else {
-      out += "  relabel rank=" + std::to_string(delta.rank) +
-             " label=" + std::to_string(delta.label) + "\n";
-    }
-  }
-  return out;
-}
-
-// Replays the scenario through an IncrementalPassiveSolver,
-// cross-checking the warm solution against cold solves on BOTH network
-// builds after every delta, and closing with the full
-// AuditIncrementalCut proof. Returns "" on success, else a description
-// of the first divergence.
-std::string ReplayIncremental(const IncrementalScenario& scenario) {
-  IncrementalSolveOptions options;
-  options.parallel.threads = scenario.threads;
-  IncrementalPassiveSolver solver(options);
-  for (const FuzzInitialPoint& p : scenario.initial) {
-    solver.Insert(Point(p.coords), p.label, p.weight);
-  }
-
-  const auto check = [&solver](const std::string& where) -> std::string {
-    const PassiveSolveResult& warm = solver.Solve();
-    if (solver.LiveSize() == 0) {
-      if (warm.optimal_weighted_error != 0.0 || !warm.assignment.empty()) {
-        return where + ": empty snapshot solved to a nonzero answer";
-      }
-      return "";
-    }
-    const WeightedPointSet snapshot = solver.Snapshot();
-    for (const PassiveNetworkBuild build :
-         {PassiveNetworkBuild::kDense,
-          PassiveNetworkBuild::kSparseChainRelay}) {
-      PassiveSolveOptions cold_options;
-      cold_options.network = build;
-      const PassiveSolveResult cold =
-          SolvePassiveWeighted(snapshot, cold_options);
-      const std::string label =
-          build == PassiveNetworkBuild::kDense ? "dense" : "sparse";
-      if (warm.assignment != cold.assignment) {
-        return where + ": assignment diverged from cold " + label + " solve";
-      }
-      if (warm.optimal_weighted_error != cold.optimal_weighted_error) {
-        return where + ": error " +
-               std::to_string(warm.optimal_weighted_error) +
-               " != cold " + label + " error " +
-               std::to_string(cold.optimal_weighted_error);
-      }
-      if (!EquivalentOn(warm.classifier, cold.classifier,
-                        snapshot.points())) {
-        return where + ": classifier diverged from cold " + label + " solve";
-      }
-    }
-    return "";
-  };
-
-  std::string failure = check("after bulk load");
-  if (!failure.empty()) return failure;
-  for (size_t i = 0; i < scenario.deltas.size(); ++i) {
-    const FuzzDelta& delta = scenario.deltas[i];
-    if (delta.kind == 0) {
-      solver.Insert(Point(delta.coords), delta.label, delta.weight);
-    } else {
-      const std::vector<size_t> live = solver.LiveIds();
-      if (!live.empty()) {
-        const size_t id = live[delta.rank % live.size()];
-        if (delta.kind == 1) {
-          solver.Erase(id);
-        } else {
-          solver.Relabel(id, delta.label);
-        }
-      }
-    }
-    failure = check("delta " + std::to_string(i));
-    if (!failure.empty()) return failure;
-  }
-  const AuditResult audit = solver.AuditIncrementalCut();
-  if (!audit.ok) return "final cut audit: " + audit.failure;
-  return "";
-}
-
-// ddmin-lite: greedily drop single deltas, then single initial points,
-// re-running the replay after each candidate removal, until no single
-// removal still reproduces a failure. The replay budget bounds shrink
-// time on long streams.
-IncrementalScenario ShrinkScenario(IncrementalScenario scenario) {
-  size_t replays = 0;
-  constexpr size_t kMaxReplays = 400;
-  bool progress = true;
-  while (progress && replays < kMaxReplays) {
-    progress = false;
-    for (size_t i = scenario.deltas.size(); i-- > 0;) {
-      if (++replays > kMaxReplays) break;
-      IncrementalScenario candidate = scenario;
-      candidate.deltas.erase(candidate.deltas.begin() +
-                             static_cast<std::ptrdiff_t>(i));
-      if (!ReplayIncremental(candidate).empty()) {
-        scenario = std::move(candidate);
-        progress = true;
-      }
-    }
-    for (size_t i = scenario.initial.size(); i-- > 0;) {
-      if (++replays > kMaxReplays) break;
-      IncrementalScenario candidate = scenario;
-      candidate.initial.erase(candidate.initial.begin() +
-                              static_cast<std::ptrdiff_t>(i));
-      if (!ReplayIncremental(candidate).empty()) {
-        scenario = std::move(candidate);
-        progress = true;
-      }
-    }
-  }
-  return scenario;
-}
-
-void FuzzIncrementalSolver(Rng& rng) {
+// Returns the ddmin-minimal failing scenario, or nullopt when the
+// stream replayed cleanly.
+std::optional<fuzz::IncrementalScenario> FuzzIncrementalSolver(Rng& rng) {
+  fuzz::IncrementalScenario scenario;
   const size_t d = 1 + rng.UniformInt(3);
+  scenario.dimension = d;
   const bool unit_weights = rng.Bernoulli(0.3);
   const auto grid_coords = [&rng, d] {
     std::vector<double> coords(d);
@@ -438,46 +313,181 @@ void FuzzIncrementalSolver(Rng& rng) {
     }
     return coords;
   };
+  const auto grid_weight = [&rng, unit_weights] {
+    return unit_weights ? 1.0
+                        : static_cast<double>(1 + rng.UniformInt(40)) / 10.0;
+  };
 
-  IncrementalScenario scenario;
   const size_t thread_choices[] = {1, 2, 8};
   scenario.threads = thread_choices[rng.UniformInt(3)];
-  const size_t n0 = rng.UniformInt(16);
+  const size_t n0 = rng.UniformInt(fuzz::kScenarioMaxInitialPoints);
   for (size_t i = 0; i < n0; ++i) {
-    scenario.initial.push_back(
-        {.coords = grid_coords(),
-         .label = rng.Bernoulli(0.5) ? Label{1} : Label{0},
-         .weight = unit_weights ? 1.0 : rng.UniformDoubleInRange(0.1, 4.0)});
+    scenario.initial.push_back({.coords = grid_coords(),
+                                .label = rng.Bernoulli(0.5) ? Label{1}
+                                                            : Label{0},
+                                .weight = grid_weight()});
   }
-  const size_t steps = 10 + rng.UniformInt(25);
+  const size_t steps =
+      8 + rng.UniformInt(fuzz::kScenarioMaxDeltas - 8);
   for (size_t i = 0; i < steps; ++i) {
-    FuzzDelta delta;
+    fuzz::ScenarioDelta delta;
     const uint64_t op = rng.UniformInt(10);
     if (op < 4) {
       delta.kind = 0;
       delta.coords = grid_coords();
       delta.label = rng.Bernoulli(0.5) ? 1 : 0;
-      delta.weight = unit_weights ? 1.0 : rng.UniformDoubleInRange(0.1, 4.0);
+      delta.weight = grid_weight();
     } else if (op < 7) {
       delta.kind = 1;
-      delta.rank = rng.UniformInt(1u << 20);
+      delta.rank = static_cast<uint16_t>(rng.UniformInt(1u << 16));
     } else {
       delta.kind = 2;
-      delta.rank = rng.UniformInt(1u << 20);
+      delta.rank = static_cast<uint16_t>(rng.UniformInt(1u << 16));
       delta.label = rng.Bernoulli(0.5) ? 1 : 0;
     }
     scenario.deltas.push_back(std::move(delta));
   }
 
-  const std::string failure = ReplayIncremental(scenario);
-  if (!failure.empty()) {
-    ++g_violations;
-    const IncrementalScenario minimal = ShrinkScenario(scenario);
-    std::cerr << "INCREMENTAL VIOLATION: " << failure << "\n"
-              << "minimal repro (fails with: " << ReplayIncremental(minimal)
-              << "):\n"
-              << DescribeScenario(minimal);
+  const std::string failure = fuzz::ReplayIncrementalScenario(scenario);
+  if (failure.empty()) return std::nullopt;
+  ++g_violations;
+  fuzz::IncrementalScenario minimal =
+      fuzz::ShrinkIncrementalScenario(scenario);
+  std::cerr << "INCREMENTAL VIOLATION: " << failure << "\n"
+            << "minimal repro (fails with: "
+            << fuzz::ReplayIncrementalScenario(minimal) << "):\n"
+            << fuzz::DescribeIncrementalScenario(minimal);
+  return minimal;
+}
+
+// ---- Mode dispatch, persistence and replay -----------------------------
+
+// The four independently-seeded modes of the default rotation.
+enum class FuzzMode { kPassive, kChains, kActive, kIncremental };
+
+constexpr const char* kModeNames[] = {"passive", "chains", "active",
+                                      "incremental"};
+
+const char* ModeName(FuzzMode mode) {
+  return kModeNames[static_cast<size_t>(mode)];
+}
+
+// splitmix64: mode m of iteration i runs on an independent, printable
+// 64-bit seed, so "mode + seed" fully reproduces any failure.
+uint64_t DeriveSeed(uint64_t base, uint64_t iter, FuzzMode mode) {
+  uint64_t z = base + iter * 0x9E3779B97F4A7C15ull +
+               static_cast<uint64_t>(mode) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Runs one mode on one derived seed; returns the encoded artifact to
+// persist when the mode found a violation with a binary repro (only the
+// incremental codec has one).
+std::vector<uint8_t> RunMode(FuzzMode mode, uint64_t seed) {
+  Rng rng(seed);
+  switch (mode) {
+    case FuzzMode::kPassive:
+      FuzzPassiveCrossSolver(rng);
+      break;
+    case FuzzMode::kChains:
+      FuzzChainDecompositions(rng);
+      break;
+    case FuzzMode::kActive:
+      FuzzActiveSolve(rng);
+      break;
+    case FuzzMode::kIncremental: {
+      const std::optional<fuzz::IncrementalScenario> minimal =
+          FuzzIncrementalSolver(rng);
+      if (minimal.has_value()) {
+        return fuzz::EncodeIncrementalScenario(*minimal);
+      }
+      break;
+    }
   }
+  return {};
+}
+
+constexpr std::string_view kReplayMagic = "audit_fuzz-replay-v1";
+
+void PersistCrash(const std::string& crash_dir, FuzzMode mode, uint64_t seed,
+                  const std::vector<uint8_t>& encoded) {
+  if (crash_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(crash_dir, ec);
+  if (ec) {
+    std::cerr << "audit_fuzz: cannot create crash dir " << crash_dir << ": "
+              << ec.message() << "\n";
+    return;
+  }
+  const std::string path = crash_dir + "/crash-" + ModeName(mode) + "-" +
+                           std::to_string(seed);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!encoded.empty()) {
+    // Incremental repro: raw scenario bytes, corpus-compatible with the
+    // fuzz_incremental harness.
+    out.write(reinterpret_cast<const char*>(encoded.data()),
+              static_cast<std::streamsize>(encoded.size()));
+  } else {
+    out << kReplayMagic << " mode=" << ModeName(mode) << " seed=" << seed
+        << "\n";
+  }
+  std::cerr << "audit_fuzz: failing input persisted to " << path << "\n";
+}
+
+// Replays a persisted artifact: either a text stub naming a (mode, seed)
+// pair, or raw incremental-scenario bytes (the format fuzz_incremental
+// consumes). Returns the process exit code.
+int ReplayArtifact(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    std::cerr << "audit_fuzz: cannot read replay file " << path << "\n";
+    return 2;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(stream)),
+                          std::istreambuf_iterator<char>());
+
+  if (bytes.rfind(kReplayMagic, 0) == 0) {
+    std::string mode_name;
+    uint64_t seed = 0;
+    const size_t mode_pos = bytes.find("mode=");
+    const size_t seed_pos = bytes.find("seed=");
+    if (mode_pos != std::string::npos && seed_pos != std::string::npos) {
+      mode_name = bytes.substr(mode_pos + 5,
+                               bytes.find(' ', mode_pos) - (mode_pos + 5));
+      seed = std::strtoull(bytes.c_str() + seed_pos + 5, nullptr, 10);
+    }
+    for (size_t m = 0; m < 4; ++m) {
+      if (mode_name == kModeNames[m]) {
+        std::cout << "audit_fuzz: replaying mode=" << mode_name
+                  << " seed=" << seed << "\n";
+        RunMode(static_cast<FuzzMode>(m), seed);
+        std::cout << "audit_fuzz replay: " << g_violations
+                  << " violation(s)\n";
+        return g_violations == 0 ? 0 : 1;
+      }
+    }
+    std::cerr << "audit_fuzz: unrecognized mode in replay stub: " << bytes;
+    return 2;
+  }
+
+  // Raw scenario bytes.
+  fuzz::FuzzInput in(reinterpret_cast<const uint8_t*>(bytes.data()),
+                     bytes.size());
+  const fuzz::IncrementalScenario scenario =
+      fuzz::DecodeIncrementalScenario(in);
+  std::cout << "audit_fuzz: replaying incremental scenario ("
+            << scenario.initial.size() << " initial, "
+            << scenario.deltas.size() << " deltas)\n"
+            << fuzz::DescribeIncrementalScenario(scenario);
+  const std::string failure = fuzz::ReplayIncrementalScenario(scenario);
+  if (failure.empty()) {
+    std::cout << "audit_fuzz replay: 0 violation(s)\n";
+    return 0;
+  }
+  std::cerr << "INCREMENTAL VIOLATION: " << failure << "\n";
+  return 1;
 }
 
 }  // namespace
@@ -486,7 +496,9 @@ void FuzzIncrementalSolver(Rng& rng) {
 int main(int argc, char** argv) {
   using namespace monoclass;  // tool binary, not library code
   const FuzzOptions options = ParseFlags(argc, argv);
-  Rng master(options.seed);
+  if (!options.replay.empty()) {
+    return ReplayArtifact(options.replay);
+  }
 
   WallTimer timer;
   uint64_t iter = 0;
@@ -495,16 +507,24 @@ int main(int argc, char** argv) {
                ? timer.ElapsedSeconds() < options.budget_seconds
                : iter < options.iters;
   };
+  const std::vector<FuzzMode> rotation =
+      options.incremental
+          ? std::vector<FuzzMode>{FuzzMode::kIncremental}
+          : std::vector<FuzzMode>{FuzzMode::kPassive, FuzzMode::kChains,
+                                  FuzzMode::kActive, FuzzMode::kIncremental};
   for (; keep_going(); ++iter) {
-    Rng iteration_rng = master.Fork();
     const size_t before = g_violations;
-    if (options.incremental) {
-      FuzzIncrementalSolver(iteration_rng);
-    } else {
-      FuzzPassiveCrossSolver(iteration_rng);
-      FuzzChainDecompositions(iteration_rng);
-      FuzzActiveSolve(iteration_rng);
-      FuzzIncrementalSolver(iteration_rng);
+    for (const FuzzMode mode : rotation) {
+      const uint64_t seed = DeriveSeed(options.seed, iter, mode);
+      const size_t mode_before = g_violations;
+      const std::vector<uint8_t> encoded = RunMode(mode, seed);
+      if (g_violations != mode_before) {
+        std::cerr << "audit_fuzz: reproduce with --replay or: audit_fuzz "
+                  << "--iters=1 --seed=" << options.seed << " (iter " << iter
+                  << ", mode " << ModeName(mode) << ", derived seed " << seed
+                  << ")\n";
+        PersistCrash(options.crash_dir, mode, seed, encoded);
+      }
     }
     if (options.verbose || g_violations != before) {
       std::cout << "iter " << iter << ": "

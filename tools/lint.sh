@@ -1,27 +1,13 @@
 #!/usr/bin/env bash
-# Repo-convention lint pass. Checks, over every C++ file in the tree:
+# Repo-convention lint pass -- thin wrapper around tools/mc_lint.cc, the
+# tokenizing C++ contract checker (rules MC001-MC009; catalog in
+# docs/static_analysis.md and in the header of mc_lint.cc).
 #
-#   1. license headers  -- every .h/.cc/.cpp starts with the Copyright +
-#                          Apache license comment;
-#   2. include guards   -- every header uses the canonical
-#                          MONOCLASS_<PATH>_<FILE>_H_ guard (ifndef,
-#                          define, and a trailing "#endif  // GUARD");
-#   3. banned tokens    -- no naked assert() / abort() / rand() / srand()
-#                          in library code outside src/util/check.h
-#                          (invariants go through MC_CHECK / MC_AUDIT,
-#                          randomness through monoclass::Rng);
-#   4. umbrella closure -- every header under src/ is reachable from the
-#                          src/monoclass.h umbrella via quoted includes;
-#   5. clock discipline -- no raw std::chrono::steady_clock::now()
-#                          outside src/util/timer.h and src/obs/ (timing
-#                          goes through WallTimer or obs spans so it is
-#                          traceable);
-#   6. concurrency discipline -- no raw std::thread / std::mutex /
-#                          std::condition_variable / std::async /
-#                          std::lock_guard & friends outside
-#                          src/util/concurrency.{h,cc}: all locking and
-#                          threading goes through the annotated layer so
-#                          clang's thread-safety analysis sees it.
+# The historical grep rules lived in this script; they are now compiled
+# rules in mc_lint, which lexes comments and strings away before
+# matching and adds the structural contracts (deterministic iteration
+# inside ParallelFor bodies, audit-hook reachability from the public
+# solver entry points) that line regexes cannot express.
 #
 # Usage: lint.sh [REPO_ROOT]
 #   REPO_ROOT defaults to the repository containing this script. Pass a
@@ -29,6 +15,13 @@
 #
 # Optional: lint.sh --tidy additionally runs clang-tidy over src/ when
 # clang-tidy and build/compile_commands.json are available.
+#
+# Binary resolution, in order:
+#   1. $MC_LINT, when set and executable;
+#   2. the newest build*/tools/mc_lint under the repo that owns this
+#      script;
+#   3. a cached on-demand compile of tools/mc_lint.cc (keyed by content
+#      hash, so repeated lint_test.sh invocations compile once).
 set -u
 
 run_tidy=0
@@ -36,145 +29,52 @@ root=""
 for arg in "$@"; do
   case "$arg" in
     --tidy) run_tidy=1 ;;
-    -h|--help) sed -n '2,20p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
     *) root="$arg" ;;
   esac
 done
+script_repo="$(cd "$(dirname "$0")/.." && pwd)"
 if [ -z "$root" ]; then
-  root="$(cd "$(dirname "$0")/.." && pwd)"
+  root="$script_repo"
 fi
 cd "$root" || { echo "lint: cannot cd to $root" >&2; exit 2; }
 
+find_mc_lint() {
+  if [ -n "${MC_LINT:-}" ] && [ -x "${MC_LINT}" ]; then
+    echo "${MC_LINT}"
+    return 0
+  fi
+  local built
+  built="$(ls -t "$script_repo"/build*/tools/mc_lint 2>/dev/null | head -1)"
+  if [ -n "$built" ] && [ -x "$built" ]; then
+    echo "$built"
+    return 0
+  fi
+  local src="$script_repo/tools/mc_lint.cc"
+  [ -f "$src" ] || { echo "lint: tools/mc_lint.cc missing" >&2; return 1; }
+  local hash
+  hash="$(cksum "$src" | cut -d' ' -f1-2 | tr ' ' '-')"
+  local cached="${TMPDIR:-/tmp}/mc_lint-$hash"
+  if [ ! -x "$cached" ]; then
+    "${CXX:-c++}" -std=c++20 -O2 -o "$cached.$$" "$src" \
+      || { echo "lint: cannot compile mc_lint.cc" >&2; return 1; }
+    mv -f "$cached.$$" "$cached"
+  fi
+  echo "$cached"
+}
+
+mc_lint="$(find_mc_lint)" || exit 2
 failures=0
-fail() {
-  echo "lint: $1" >&2
-  failures=$((failures + 1))
-}
-
-# Every C++ file under the conventional directories that exist here.
-cxx_files() {
-  find src tests bench examples tools -type f \
-    \( -name '*.h' -o -name '*.cc' -o -name '*.cpp' \) 2>/dev/null | sort
-}
-
-# --- 1. license headers -------------------------------------------------
-for f in $(cxx_files); do
-  if ! head -2 "$f" | grep -q "Copyright"; then
-    fail "$f: missing Copyright line in the first two lines"
-  fi
-  if ! head -3 "$f" | grep -q "Licensed under the Apache License"; then
-    fail "$f: missing Apache license line in the first three lines"
-  fi
-done
-
-# --- 2. include guards --------------------------------------------------
-for f in $(cxx_files); do
-  case "$f" in
-    *.h) ;;
-    *) continue ;;
-  esac
-  # src/util/check.h -> MONOCLASS_UTIL_CHECK_H_ ; tests/test_util.h ->
-  # MONOCLASS_TESTS_TEST_UTIL_H_ ; src/monoclass.h -> MONOCLASS_MONOCLASS_H_
-  rel="${f#src/}"
-  if [ "$rel" = "$f" ]; then
-    rel="$f"   # tests/..., bench/..., tools/... keep their top directory
-  fi
-  guard="MONOCLASS_$(printf '%s' "${rel%.h}" | tr 'a-z' 'A-Z' | tr -C 'A-Z0-9' '_')_H_"
-  if ! grep -q "^#ifndef ${guard}\$" "$f"; then
-    fail "$f: missing '#ifndef ${guard}' (include-guard convention)"
-    continue
-  fi
-  if ! grep -q "^#define ${guard}\$" "$f"; then
-    fail "$f: missing '#define ${guard}'"
-  fi
-  if ! grep -q "^#endif  // ${guard}\$" "$f"; then
-    fail "$f: missing trailing '#endif  // ${guard}'"
-  fi
-done
-
-# --- 3. banned tokens in library code -----------------------------------
-for f in $(cxx_files); do
-  case "$f" in
-    src/util/check.h) continue ;;  # the one sanctioned abort site
-    src/*) ;;
-    *) continue ;;
-  esac
-  # [^_[:alnum:]] guards against static_assert / MC_CHECK-style prefixes;
-  # matches at start-of-line are caught by the leading alternation.
-  if grep -nE '(^|[^_[:alnum:]])assert[[:space:]]*\(' "$f" | grep -v static_assert | grep -q .; then
-    fail "$f: naked assert() -- use MC_CHECK / MC_DCHECK from util/check.h"
-  fi
-  if grep -qnE '(^|[^_[:alnum:]])s?rand[[:space:]]*\(' "$f"; then
-    fail "$f: rand()/srand() -- all randomness must flow through monoclass::Rng"
-  fi
-  if grep -qnE '(^|[^_[:alnum:]])(std::)?abort[[:space:]]*\(' "$f"; then
-    fail "$f: direct abort() -- abort through MC_CHECK so context is printed"
-  fi
-done
-
-# --- 4. umbrella reachability -------------------------------------------
-if [ -f src/monoclass.h ]; then
-  # Breadth-first closure over quoted includes, resolved relative to src/.
-  reached="monoclass.h"
-  frontier="monoclass.h"
-  while [ -n "$frontier" ]; do
-    next=""
-    for h in $frontier; do
-      for inc in $(sed -n 's/^#include "\([^"]*\)".*/\1/p' "src/$h"); do
-        [ -f "src/$inc" ] || continue
-        case " $reached " in
-          *" $inc "*) ;;
-          *) reached="$reached $inc"; next="$next $inc" ;;
-        esac
-      done
-    done
-    frontier="$next"
-  done
-  for f in $(find src -name '*.h' | sort); do
-    rel="${f#src/}"
-    case " $reached " in
-      *" $rel "*) ;;
-      *) fail "$f: not reachable from the src/monoclass.h umbrella header" ;;
-    esac
-  done
+if ! "$mc_lint" "$root"; then
+  failures=1
 fi
-
-# --- 5. clock discipline ------------------------------------------------
-# Raw steady_clock reads scattered through the tree cannot be traced or
-# aggregated; the two sanctioned wrappers are util/timer.h (WallTimer)
-# and the obs layer (spans / NowMicros).
-for f in $(cxx_files); do
-  case "$f" in
-    src/util/timer.h|src/obs/*) continue ;;
-  esac
-  if grep -qE 'steady_clock[[:space:]]*::[[:space:]]*now[[:space:]]*\(' "$f"; then
-    fail "$f: raw steady_clock::now() -- use WallTimer (util/timer.h) or an obs span"
-  fi
-done
-
-# --- 6. concurrency discipline ------------------------------------------
-# Concurrency primitives used directly are invisible to the thread-safety
-# analysis and to the pool's task accounting. The annotated wrappers in
-# util/concurrency.h are the only sanctioned entry points; everything
-# else (including tests and benches) must go through them.
-# std::this_thread / std::thread::hardware_concurrency are deliberately
-# NOT banned: the pattern below requires a non-identifier character after
-# each banned name, so only the primitives themselves match.
-banned_concurrency='std::[[:space:]]*(thread|jthread|mutex|timed_mutex|recursive_mutex|shared_mutex|condition_variable|condition_variable_any|async|lock_guard|unique_lock|scoped_lock|shared_lock|promise|packaged_task)[^_[:alnum:]]'
-for f in $(cxx_files); do
-  case "$f" in
-    src/util/concurrency.h|src/util/concurrency.cc) continue ;;
-  esac
-  if grep -nE "$banned_concurrency" "$f" | grep -q .; then
-    fail "$f: raw standard-library concurrency primitive -- use Mutex/MutexLock/CondVar/ThreadPool/ParallelFor from util/concurrency.h (lint rule 6)"
-  fi
-done
 
 # --- optional clang-tidy ------------------------------------------------
 if [ "$run_tidy" = 1 ]; then
   if command -v clang-tidy >/dev/null 2>&1 && [ -f build/compile_commands.json ]; then
     if ! clang-tidy -p build --quiet $(find src -name '*.cc'); then
-      fail "clang-tidy reported diagnostics"
+      echo "lint: clang-tidy reported diagnostics" >&2
+      failures=1
     fi
   else
     echo "lint: --tidy requested but clang-tidy or build/compile_commands.json missing; skipping" >&2
@@ -182,7 +82,7 @@ if [ "$run_tidy" = 1 ]; then
 fi
 
 if [ "$failures" -ne 0 ]; then
-  echo "lint: $failures violation(s)" >&2
+  echo "lint: violations found (see mc_lint output above)" >&2
   exit 1
 fi
 echo "lint: OK"
