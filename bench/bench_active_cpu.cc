@@ -164,7 +164,10 @@ void Run() {
 }  // namespace
 }  // namespace monoclass
 
-int main() {
+int main(int argc, char** argv) {
+  argc = monoclass::bench::ParseBenchArgs(argc, argv);
+  (void)argc;
+  (void)argv;
   monoclass::Run();
   return 0;
 }

@@ -200,12 +200,14 @@ void Run(bool ci) {
 }  // namespace monoclass
 
 int main(int argc, char** argv) {
+  argc = monoclass::bench::ParseBenchArgs(argc, argv);
   bool ci = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ci") == 0) {
       ci = true;
     } else {
-      std::cerr << "usage: bench_incremental [--ci]\n";
+      std::cerr << "usage: bench_incremental [--ci] [--telemetry-dump "
+                   "<path>]\n";
       return 2;
     }
   }

@@ -17,6 +17,7 @@
 #define MONOCLASS_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,8 +25,10 @@
 #include <vector>
 
 #include "io/serialization.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -35,7 +38,9 @@ namespace bench {
 
 // Version of the BENCH_*.json layout; bump when fields change shape.
 // v2: manifest gained the required "threads" field (parallel runs).
-inline constexpr int kBenchSchemaVersion = 2;
+// v3: metrics snapshots gained the "latencies" section (LatencyHistogram
+//     quantiles: p50/p90/p99/p999 in microseconds).
+inline constexpr int kBenchSchemaVersion = 3;
 
 // Collects phase timings and metric deltas over one bench run and writes
 // BENCH_<id>.json when the process exits (or on explicit Finish()).
@@ -84,6 +89,10 @@ class BenchReport {
     if (!started_ || finished_) return;
     finished_ = true;
     CloseCurrentPhase();
+    // Flush the live-telemetry writer first (no-op when --telemetry-dump
+    // was not given) so its final exposition/flight snapshot reflects the
+    // completed run.
+    obs::StopTelemetry();
     const std::string base = OutputDir();
     {
       std::ofstream out(base + "/BENCH_" + manifest_.experiment + ".json");
@@ -154,6 +163,43 @@ class BenchReport {
   bool in_phase_ = false;
   bool finished_ = false;
 };
+
+// Parses the telemetry flags every bench harness shares:
+//
+//   --telemetry-dump <path>        enable obs + flight recording and
+//                                  write periodic exposition / flight
+//                                  snapshots to <path> / <path>.flight
+//                                  (see obs/telemetry.h and tools/mc_top)
+//   --telemetry-interval-ms <n>    snapshot period, default 250
+//
+// Consumed flags are stripped from argv in place; the returned value is
+// the new argc, so a bench with its own flags parses the remainder:
+//
+//   int main(int argc, char** argv) {
+//     argc = bench::ParseBenchArgs(argc, argv);
+//     ...bench-specific flags...
+//   }
+inline int ParseBenchArgs(int argc, char** argv) {
+  std::string telemetry_path;
+  int interval_ms = 250;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-dump") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry-interval-ms") == 0 &&
+               i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  if (!telemetry_path.empty()) {
+    obs::SetEnabled(true);
+    obs::StartFlightRecording();
+    obs::StartTelemetry(telemetry_path, interval_ms < 1 ? 250 : interval_ms);
+  }
+  return out;
+}
 
 // Prints the experiment banner: id, paper artifact, claim under test.
 // Also opens the machine-readable report for this run.

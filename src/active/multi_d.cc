@@ -116,6 +116,7 @@ ActiveSolveResult SolveActiveMultiD(const PointSet& points,
   }
   ParallelForEach(num_chains, options.parallel, [&](size_t c) {
     MC_SPAN("par.chain");
+    MC_LATENCY("mc.lat.active_chain");
     const auto& chain = decomposition.chains[c];
     std::vector<double> coordinates(chain.size());
     for (size_t r = 0; r < chain.size(); ++r) {

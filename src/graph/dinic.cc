@@ -65,6 +65,7 @@ double DinicSolver::Solve(FlowNetwork& network, int source, int sink) {
   MC_CHECK_NE(source, sink);
 
   MC_SPAN("graph/dinic_solve");
+  MC_LATENCY("mc.lat.maxflow_solve");
   double total_flow = 0.0;
   while (BuildLevels(network, source, sink)) {
     MC_COUNTER("maxflow.dinic.phases", 1);

@@ -17,6 +17,7 @@ double EdmondsKarpSolver::Solve(FlowNetwork& network, int source, int sink) {
   MC_CHECK(network.IsValidVertex(sink));
   MC_CHECK_NE(source, sink);
   MC_SPAN("graph/edmonds_karp_solve");
+  MC_LATENCY("mc.lat.maxflow_solve");
 
   const auto num_vertices = static_cast<size_t>(network.NumVertices());
   double total_flow = 0.0;

@@ -222,6 +222,7 @@ double PushRelabelSolver::Solve(FlowNetwork& network, int source, int sink) {
   MC_CHECK_NE(source, sink);
 
   MC_SPAN("graph/push_relabel_solve");
+  MC_LATENCY("mc.lat.maxflow_solve");
   PushRelabelState state(network, source, sink);
   state.InitializeHeights();
   state.SaturateSource();

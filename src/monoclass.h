@@ -52,9 +52,12 @@
 
 // Observability: metrics registry, trace spans, probe-budget accounting
 // (see docs/observability.md).
+#include "obs/flight.h"
+#include "obs/latency_histogram.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/probe_budget.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 // Graph substrate (exposed for users who need max flow / matching

@@ -119,7 +119,8 @@ MetricsRegistry& MetricsRegistry::Global() {
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
   MutexLock lock(mu_);
   MC_CHECK(gauges_.find(name) == gauges_.end() &&
-           histograms_.find(name) == histograms_.end())
+           histograms_.find(name) == histograms_.end() &&
+           latencies_.find(name) == latencies_.end())
       << "metric '" << std::string(name) << "' already registered with a "
       << "different kind";
   auto it = counters_.find(name);
@@ -133,7 +134,8 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   MutexLock lock(mu_);
   MC_CHECK(counters_.find(name) == counters_.end() &&
-           histograms_.find(name) == histograms_.end())
+           histograms_.find(name) == histograms_.end() &&
+           latencies_.find(name) == latencies_.end())
       << "metric '" << std::string(name) << "' already registered with a "
       << "different kind";
   auto it = gauges_.find(name);
@@ -146,7 +148,8 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   MutexLock lock(mu_);
   MC_CHECK(counters_.find(name) == counters_.end() &&
-           gauges_.find(name) == gauges_.end())
+           gauges_.find(name) == gauges_.end() &&
+           latencies_.find(name) == latencies_.end())
       << "metric '" << std::string(name) << "' already registered with a "
       << "different kind";
   auto it = histograms_.find(name);
@@ -157,11 +160,27 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return it->second.get();
 }
 
+LatencyHistogram* MetricsRegistry::GetLatency(std::string_view name) {
+  MutexLock lock(mu_);
+  MC_CHECK(counters_.find(name) == counters_.end() &&
+           gauges_.find(name) == gauges_.end() &&
+           histograms_.find(name) == histograms_.end())
+      << "metric '" << std::string(name) << "' already registered with a "
+      << "different kind";
+  auto it = latencies_.find(name);
+  if (it == latencies_.end()) {
+    it = latencies_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   snapshot.samples.reserve(counters_.size() + gauges_.size() +
-                           histograms_.size());
+                           histograms_.size() + latencies_.size());
   for (const auto& [name, counter] : counters_) {
     MetricSample sample;
     sample.name = name;
@@ -187,7 +206,22 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     sample.max = sample.count == 0 ? 0.0 : histogram->Max();
     snapshot.samples.push_back(std::move(sample));
   }
-  // The three maps are each sorted; a final sort merges them by name.
+  for (const auto& [name, latency] : latencies_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kLatency;
+    sample.count = latency->Count();
+    sample.sum = latency->Sum();
+    sample.value = latency->Mean();
+    sample.min = sample.count == 0 ? 0.0 : latency->Min();
+    sample.max = sample.count == 0 ? 0.0 : latency->Max();
+    sample.p50 = latency->Quantile(0.5);
+    sample.p90 = latency->Quantile(0.9);
+    sample.p99 = latency->Quantile(0.99);
+    sample.p999 = latency->Quantile(0.999);
+    snapshot.samples.push_back(std::move(sample));
+  }
+  // The per-kind maps are each sorted; a final sort merges them by name.
   std::sort(snapshot.samples.begin(), snapshot.samples.end(),
             [](const MetricSample& a, const MetricSample& b) {
               return a.name < b.name;
@@ -200,6 +234,7 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, latency] : latencies_) latency->Reset();
 }
 
 void MetricsRegistry::WriteJson(std::ostream& out) const {
@@ -226,8 +261,53 @@ void MetricsRegistry::WriteText(std::ostream& out) const {
             << " min=" << sample.min << " max=" << sample.max
             << " mean=" << sample.value << " (histogram)";
         break;
+      case MetricSample::Kind::kLatency:
+        out << "count=" << sample.count << " p50=" << sample.p50
+            << " p90=" << sample.p90 << " p99=" << sample.p99
+            << " p999=" << sample.p999 << " max=" << sample.max
+            << " (latency, us)";
+        break;
     }
     out << "\n";
+  }
+}
+
+void MetricsRegistry::ExposeText(std::ostream& out) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  for (const MetricSample& sample : snapshot.samples) {
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out << "# TYPE " << sample.name << " counter\n";
+        out << sample.name << " " << static_cast<uint64_t>(sample.value)
+            << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out << "# TYPE " << sample.name << " gauge\n";
+        out << sample.name << " " << JsonNumber(sample.value) << "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        out << "# TYPE " << sample.name << " histogram\n";
+        out << sample.name << "_count " << sample.count << "\n";
+        out << sample.name << "_sum " << JsonNumber(sample.sum) << "\n";
+        out << sample.name << "_min " << JsonNumber(sample.min) << "\n";
+        out << sample.name << "_max " << JsonNumber(sample.max) << "\n";
+        break;
+      case MetricSample::Kind::kLatency:
+        out << "# TYPE " << sample.name << " summary\n";
+        out << sample.name << "{quantile=\"0.5\"} " << JsonNumber(sample.p50)
+            << "\n";
+        out << sample.name << "{quantile=\"0.9\"} " << JsonNumber(sample.p90)
+            << "\n";
+        out << sample.name << "{quantile=\"0.99\"} " << JsonNumber(sample.p99)
+            << "\n";
+        out << sample.name << "{quantile=\"0.999\"} "
+            << JsonNumber(sample.p999) << "\n";
+        out << sample.name << "_count " << sample.count << "\n";
+        out << sample.name << "_sum " << JsonNumber(sample.sum) << "\n";
+        out << sample.name << "_min " << JsonNumber(sample.min) << "\n";
+        out << sample.name << "_max " << JsonNumber(sample.max) << "\n";
+        break;
+    }
   }
 }
 
@@ -247,6 +327,16 @@ void WriteSnapshotJson(const MetricsSnapshot& snapshot, std::ostream& out) {
             << ", \"min\": " << JsonNumber(sample.min)
             << ", \"max\": " << JsonNumber(sample.max)
             << ", \"mean\": " << JsonNumber(sample.value) << "}";
+      } else if (kind == MetricSample::Kind::kLatency) {
+        out << "{\"count\": " << sample.count
+            << ", \"sum\": " << JsonNumber(sample.sum)
+            << ", \"min\": " << JsonNumber(sample.min)
+            << ", \"max\": " << JsonNumber(sample.max)
+            << ", \"mean\": " << JsonNumber(sample.value)
+            << ", \"p50\": " << JsonNumber(sample.p50)
+            << ", \"p90\": " << JsonNumber(sample.p90)
+            << ", \"p99\": " << JsonNumber(sample.p99)
+            << ", \"p999\": " << JsonNumber(sample.p999) << "}";
       } else if (kind == MetricSample::Kind::kCounter) {
         out << static_cast<uint64_t>(sample.value);
       } else {
@@ -259,7 +349,8 @@ void WriteSnapshotJson(const MetricsSnapshot& snapshot, std::ostream& out) {
   out << "{";
   write_section(MetricSample::Kind::kCounter, "counters", true);
   write_section(MetricSample::Kind::kGauge, "gauges", true);
-  write_section(MetricSample::Kind::kHistogram, "histograms", false);
+  write_section(MetricSample::Kind::kHistogram, "histograms", true);
+  write_section(MetricSample::Kind::kLatency, "latencies", false);
   out << "}";
 }
 

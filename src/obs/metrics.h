@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency_histogram.h"
 #include "util/concurrency.h"
 
 namespace monoclass {
@@ -89,7 +90,7 @@ class Histogram {
 
 // One metric in a point-in-time snapshot.
 struct MetricSample {
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kLatency };
 
   std::string name;
   Kind kind = Kind::kCounter;
@@ -98,6 +99,11 @@ struct MetricSample {
   double sum = 0.0;       // histogram sum
   double min = 0.0;       // histogram min (0 when empty)
   double max = 0.0;       // histogram max (0 when empty)
+  // Latency-histogram quantiles (kLatency only), in microseconds.
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 // Snapshot of every registered metric, sorted by name.
@@ -119,6 +125,7 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
+  LatencyHistogram* GetLatency(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
 
@@ -126,11 +133,19 @@ class MetricsRegistry {
   void ResetAll();
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name:
-  // {"count":..,"sum":..,"min":..,"max":..,"mean":..}}}
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..}}, "latencies":
+  // {name: {..., "p50":..,"p90":..,"p99":..,"p999":..}}}
   void WriteJson(std::ostream& out) const;
 
   // Aligned name/value table for terminal output.
   void WriteText(std::ostream& out) const;
+
+  // Prometheus-style text exposition (docs/observability.md#exposition):
+  // one `# TYPE` comment per metric, `name value` lines, latency
+  // quantiles as `name{quantile="0.5"} value` plus _count/_sum/_min/_max.
+  // Metric names keep their dots; scrapers that need strict Prometheus
+  // identifiers map '.' to '_'.
+  void ExposeText(std::ostream& out) const;
 
  private:
   MetricsRegistry() = default;
@@ -147,6 +162,8 @@ class MetricsRegistry {
       MC_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       MC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      latencies_ MC_GUARDED_BY(mu_);
 };
 
 // Writes a snapshot as the same JSON object WriteJson emits (used by the

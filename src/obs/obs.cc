@@ -5,6 +5,8 @@
 
 #include <cstdlib>
 
+#include "obs/flight.h"
+#include "obs/latency_histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/concurrency.h"
@@ -54,34 +56,98 @@ void InitFromEnv() {
     SetEnabled(true);  // a trace without metrics is rarely what's wanted
     StartTracing();
   }
+  if (internal::EnvTruthy("MONOCLASS_FLIGHT")) {
+    SetEnabled(true);  // MC_LATENCY only brackets flight spans when on
+    StartFlightRecording();
+  }
 }
 
 std::string BuildGitSha() { return MONOCLASS_GIT_SHA; }
 
 std::string BuildType() { return MONOCLASS_BUILD_TYPE; }
 
+#if MC_OBS_COMPILED
+
 namespace {
 
-// Pool-activity sink: util/concurrency cannot depend on the obs layer
-// (obs sits above util), so the pool reports through a function-pointer
-// hook instead. One call per pool task a worker dequeued; queue_wait_us
-// is the time the task sat queued before being picked up ("steal wait").
-// Shards the calling thread ran inline are not pool tasks and do not
-// count.
-void ParallelTaskToMetrics(double queue_wait_us) {
-  MC_COUNTER("mc.par.tasks", 1);
-  MC_HISTOGRAM("mc.par.steal_wait", queue_wait_us);
+// Pool/lock-activity hooks: util/concurrency cannot depend on the obs
+// layer (obs sits above util), so the pool reports through the
+// internal::PoolHooks function-pointer struct instead. Every metric the
+// hook bodies touch is resolved eagerly at install time -- the
+// mutex_contended hook in particular runs while the contended mutex is
+// still held, which may be the registry's own mu_, so a lazy
+// GetCounter() there would self-deadlock. Hook bodies are lock-free:
+// relaxed atomic updates plus (for pool tasks) a flight-ring write.
+struct PoolMetricSinks {
+  Counter* tasks;
+  Counter* contentions;
+  Gauge* queue_depth_now;
+  Histogram* queue_depth;
+  LatencyHistogram* task_wait;
+  LatencyHistogram* task_run;
+  LatencyHistogram* mutex_wait;
+  uint32_t pool_task_flight_name;
+};
+
+PoolMetricSinks* g_pool_sinks = nullptr;
+
+void PoolTaskEnqueued(std::size_t queue_depth) {
+  if (!Enabled()) return;
+  g_pool_sinks->queue_depth->Observe(static_cast<double>(queue_depth));
+  g_pool_sinks->queue_depth_now->Set(static_cast<double>(queue_depth));
+}
+
+void PoolTaskStarted(double queue_wait_us) {
+  if (Enabled()) {
+    g_pool_sinks->tasks->Add(1);
+    g_pool_sinks->task_wait->Observe(queue_wait_us);
+  }
+  if (FlightRecordingActive()) {
+    RecordFlightEvent(FlightEventType::kPoolTask,
+                      g_pool_sinks->pool_task_flight_name, queue_wait_us);
+  }
+}
+
+void PoolTaskFinished(double run_us) {
+  if (!Enabled()) return;
+  g_pool_sinks->task_run->Observe(run_us);
+}
+
+void MutexContended(double wait_us) {
+  if (!Enabled()) return;
+  g_pool_sinks->contentions->Add(1);
+  g_pool_sinks->mutex_wait->Observe(wait_us);
 }
 
 // Installed at static-init time. Any binary whose code expands an MC_*
 // macro links this translation unit (obs::Enabled lives here), so every
-// instrumented build observes its pool automatically.
-[[maybe_unused]] const bool g_parallel_sink_installed = [] {
-  ::monoclass::internal::SetParallelTaskSink(&ParallelTaskToMetrics);
+// instrumented build observes its pool automatically. When the build
+// compiles obs out this whole block disappears and the hooks stay null,
+// keeping the pool's hot path hook-free.
+[[maybe_unused]] const bool g_pool_hooks_installed = [] {
+  auto& registry = MetricsRegistry::Global();
+  g_pool_sinks = new PoolMetricSinks{
+      registry.GetCounter("mc.pool.tasks"),
+      registry.GetCounter("mc.pool.mutex_contentions"),
+      registry.GetGauge("mc.pool.queue_depth_now"),
+      registry.GetHistogram("mc.pool.queue_depth"),
+      registry.GetLatency("mc.lat.pool_task_wait"),
+      registry.GetLatency("mc.lat.pool_task_run"),
+      registry.GetLatency("mc.lat.mutex_wait"),
+      InternFlightName("pool/task"),
+  };
+  ::monoclass::internal::PoolHooks hooks;
+  hooks.task_enqueued = &PoolTaskEnqueued;
+  hooks.task_started = &PoolTaskStarted;
+  hooks.task_finished = &PoolTaskFinished;
+  hooks.mutex_contended = &MutexContended;
+  ::monoclass::internal::SetPoolHooks(hooks);
   return true;
 }();
 
 }  // namespace
+
+#endif  // MC_OBS_COMPILED
 
 }  // namespace obs
 }  // namespace monoclass

@@ -17,9 +17,10 @@
 //     inert).
 //   * runtime -- even when compiled in, the macros are no-ops (one
 //     relaxed atomic load) until obs::SetEnabled(true) is called or the
-//     MONOCLASS_OBS environment variable is set to 1/on/true. Tracing has
-//     its own switch (obs::StartTracing / MONOCLASS_TRACE) layered on
-//     top.
+//     MONOCLASS_OBS environment variable is set to 1/on/true. Tracing
+//     (obs::StartTracing / MONOCLASS_TRACE) and flight recording
+//     (obs::StartFlightRecording / MONOCLASS_FLIGHT) have their own
+//     switches layered on top.
 //
 // The macros:
 //
@@ -27,6 +28,12 @@
 //   MC_GAUGE("name", value)      last-value gauge
 //   MC_HISTOGRAM("name", value)  log-bucket histogram observation
 //   MC_SPAN("name")              RAII trace span for the enclosing scope
+//   MC_LATENCY("name")           RAII latency-histogram timer for the
+//                                enclosing scope (quantile-exact
+//                                LatencyHistogram, microseconds); also
+//                                emits flight-recorder begin/end events
+//                                when flight recording is on. Names must
+//                                start with "mc.lat." (lint rule MC010).
 //   MC_OBS(code)                 arbitrary code gated like the macros
 //
 // Metric names are string literals; each macro expansion resolves its
@@ -66,8 +73,8 @@ inline bool Enabled() {
 // Overrides the environment-derived default.
 void SetEnabled(bool enabled);
 
-// Reads MONOCLASS_OBS and MONOCLASS_TRACE and applies both switches
-// (benches and the CLI call this once at startup).
+// Reads MONOCLASS_OBS, MONOCLASS_TRACE and MONOCLASS_FLIGHT and applies
+// the switches (benches and the CLI call this once at startup).
 void InitFromEnv();
 
 // Git SHA the library was built from ("unknown" outside a git checkout).
@@ -81,8 +88,58 @@ std::string BuildType();
 
 #if MC_OBS_COMPILED
 
-#include "obs/metrics.h"  // IWYU pragma: export
-#include "obs/trace.h"    // IWYU pragma: export
+#include "obs/flight.h"             // IWYU pragma: export
+#include "obs/latency_histogram.h"  // IWYU pragma: export
+#include "obs/metrics.h"            // IWYU pragma: export
+#include "obs/trace.h"              // IWYU pragma: export
+
+namespace monoclass {
+namespace obs {
+
+// RAII timer behind MC_LATENCY: resolves its LatencyHistogram once per
+// call site (the resolver is a captureless lambda holding the
+// function-local static), stamps NowMicros() on entry and observes the
+// elapsed microseconds on exit. When flight recording is active it also
+// brackets the scope with kSpanBegin/kSpanEnd events, so latency points
+// show up on the flight timeline without a separate MC_SPAN.
+class LatencyScope {
+ public:
+  using Resolver = LatencyHistogram* (*)();
+
+  LatencyScope(const char* name, Resolver resolver) {
+    if (Enabled()) {
+      histogram_ = resolver();
+      start_us_ = NowMicros();
+      if (FlightRecordingActive()) {
+        flight_name_id_ = InternFlightName(name);
+        in_flight_ = true;
+        RecordFlightEvent(FlightEventType::kSpanBegin, flight_name_id_, 0.0);
+      }
+    }
+  }
+
+  ~LatencyScope() {
+    if (histogram_ == nullptr) return;
+    const double elapsed_us = NowMicros() - start_us_;
+    histogram_->Observe(elapsed_us);
+    if (in_flight_) {
+      RecordFlightEvent(FlightEventType::kSpanEnd, flight_name_id_,
+                        elapsed_us);
+    }
+  }
+
+  LatencyScope(const LatencyScope&) = delete;
+  LatencyScope& operator=(const LatencyScope&) = delete;
+
+ private:
+  LatencyHistogram* histogram_ = nullptr;
+  double start_us_ = 0.0;
+  uint32_t flight_name_id_ = 0;
+  bool in_flight_ = false;
+};
+
+}  // namespace obs
+}  // namespace monoclass
 
 #define MC_OBS_CONCAT_INNER(a, b) a##b
 #define MC_OBS_CONCAT(a, b) MC_OBS_CONCAT_INNER(a, b)
@@ -92,7 +149,15 @@ std::string BuildType();
     if (::monoclass::obs::Enabled()) {                                   \
       static ::monoclass::obs::Counter* mc_obs_counter =                 \
           ::monoclass::obs::MetricsRegistry::Global().GetCounter(name);  \
-      mc_obs_counter->Add(static_cast<uint64_t>(delta));                 \
+      const auto mc_obs_delta = (delta);                                 \
+      mc_obs_counter->Add(static_cast<uint64_t>(mc_obs_delta));          \
+      if (::monoclass::obs::FlightRecordingActive()) {                   \
+        static const uint32_t mc_obs_flight_name =                       \
+            ::monoclass::obs::InternFlightName(name);                    \
+        ::monoclass::obs::RecordFlightEvent(                             \
+            ::monoclass::obs::FlightEventType::kCounter,                 \
+            mc_obs_flight_name, static_cast<double>(mc_obs_delta));      \
+      }                                                                  \
     }                                                                    \
   } while (0)
 
@@ -117,6 +182,14 @@ std::string BuildType();
 #define MC_SPAN(name) \
   ::monoclass::obs::Span MC_OBS_CONCAT(mc_obs_span_, __LINE__)(name)
 
+#define MC_LATENCY(name)                                                    \
+  ::monoclass::obs::LatencyScope MC_OBS_CONCAT(mc_obs_latency_, __LINE__)(  \
+      (name), +[]() -> ::monoclass::obs::LatencyHistogram* {                \
+        static ::monoclass::obs::LatencyHistogram* mc_obs_latency =         \
+            ::monoclass::obs::MetricsRegistry::Global().GetLatency(name);   \
+        return mc_obs_latency;                                              \
+      })
+
 #define MC_OBS(code)                   \
   do {                                 \
     if (::monoclass::obs::Enabled()) { \
@@ -137,6 +210,9 @@ std::string BuildType();
   } while (0)
 #define MC_SPAN(name) \
   do {                \
+  } while (0)
+#define MC_LATENCY(name) \
+  do {                   \
   } while (0)
 #define MC_OBS(code) \
   do {               \

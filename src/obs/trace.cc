@@ -11,6 +11,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/flight.h"
 #include "util/concurrency.h"
 #include "util/json.h"
 
@@ -172,21 +173,40 @@ void WriteTextReport(std::ostream& out) {
 
 Span::Span(const char* name) : name_(name), recorded_(false) {
   if (TracingActive()) recorded_ = Record(name_, 'B');
+  if (FlightRecordingActive()) {
+    flight_name_id_ = InternFlightName(name_);
+    flight_start_us_ = NowMicros();
+    in_flight_ = true;
+    RecordFlightEvent(FlightEventType::kSpanBegin, flight_name_id_, 0.0);
+  }
 }
 
 Span::~Span() {
   // The E event is recorded even if tracing stopped mid-span, so every
-  // recorded B has a matching E.
+  // recorded B has a matching E. Same for the flight end event.
   if (recorded_) Record(name_, 'E');
+  if (in_flight_) {
+    RecordFlightEvent(FlightEventType::kSpanEnd, flight_name_id_,
+                      NowMicros() - flight_start_us_);
+  }
 }
 
 SpanTimer::SpanTimer(const char* name)
     : name_(name), start_us_(NowMicros()), recorded_(false) {
   if (TracingActive()) recorded_ = Record(name_, 'B');
+  if (FlightRecordingActive()) {
+    flight_name_id_ = InternFlightName(name_);
+    in_flight_ = true;
+    RecordFlightEvent(FlightEventType::kSpanBegin, flight_name_id_, 0.0);
+  }
 }
 
 SpanTimer::~SpanTimer() {
   if (recorded_) Record(name_, 'E');
+  if (in_flight_) {
+    RecordFlightEvent(FlightEventType::kSpanEnd, flight_name_id_,
+                      NowMicros() - start_us_);
+  }
 }
 
 double SpanTimer::ElapsedMillis() const {

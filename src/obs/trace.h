@@ -69,8 +69,11 @@ void WriteChromeTrace(std::ostream& out);
 // becomes one line with call count, total and self wall time.
 void WriteTextReport(std::ostream& out);
 
-// RAII span used by MC_SPAN. Cheap when tracing is inactive: one relaxed
-// atomic load in the constructor, one branch in the destructor.
+// RAII span used by MC_SPAN. Cheap when both tracing and flight
+// recording are inactive: two relaxed atomic loads in the constructor,
+// two branches in the destructor. When the flight recorder is on the
+// span additionally brackets itself with begin/end ring events
+// (obs/flight.h), independent of the trace buffer.
 class Span {
  public:
   explicit Span(const char* name);
@@ -82,6 +85,9 @@ class Span {
  private:
   const char* name_;
   bool recorded_;
+  bool in_flight_ = false;
+  uint32_t flight_name_id_ = 0;
+  double flight_start_us_ = 0.0;
 };
 
 // A wall-clock stopwatch that doubles as a trace span: always measures
@@ -104,6 +110,8 @@ class SpanTimer {
   const char* name_;
   double start_us_;
   bool recorded_;
+  bool in_flight_ = false;
+  uint32_t flight_name_id_ = 0;
 };
 
 }  // namespace obs

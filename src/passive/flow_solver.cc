@@ -48,6 +48,7 @@ PassiveSolveResult SolvePassiveWeighted(const WeightedPointSet& set,
   MC_CHECK(!set.empty());
   const size_t n = set.size();
   MC_SPAN("passive/solve");
+  MC_LATENCY("mc.lat.passive_solve");
   MC_HISTOGRAM("passive.points", n);
 
   // Step 1: the point indices that participate in the network.

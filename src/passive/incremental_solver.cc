@@ -109,6 +109,7 @@ std::vector<size_t> IncrementalPassiveSolver::ConflictPartners(
 size_t IncrementalPassiveSolver::Insert(const Point& point, Label label,
                                         double weight) {
   MC_SPAN("inc/insert");
+  MC_LATENCY("mc.lat.inc_delta");
   MC_CHECK_LE(label, 1);
   MC_CHECK_GT(weight, 0.0);
   const size_t id = records_.size();
@@ -141,6 +142,7 @@ size_t IncrementalPassiveSolver::Insert(const Point& point, Label label,
 
 void IncrementalPassiveSolver::Erase(size_t id) {
   MC_SPAN("inc/erase");
+  MC_LATENCY("mc.lat.inc_delta");
   MC_CHECK(IsLive(id));
   const std::vector<size_t> partners = ConflictPartners(id);
   std::vector<size_t> leaves;
@@ -165,6 +167,7 @@ void IncrementalPassiveSolver::Relabel(size_t id, Label label) {
   MC_CHECK_LE(label, 1);
   if (records_[id].label == label) return;
   MC_SPAN("inc/relabel");
+  MC_LATENCY("mc.lat.inc_delta");
   // Tear down the old-label conflicts first (the point leaves as its old
   // self), flip the label, then bring up the new-label conflicts.
   {
@@ -473,6 +476,7 @@ void IncrementalPassiveSolver::FinishDelta() {
   }
   if (network_dirty_) {
     MC_SPAN("inc/augment");
+    MC_LATENCY("mc.lat.inc_augment");
     flow_value_ += solver_->Augment(network_, kSource, kSink);
     network_dirty_ = false;
     ++stats_.augment_calls;

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 #include "util/check.h"
@@ -14,14 +15,19 @@ namespace monoclass {
 namespace internal {
 namespace {
 
-std::atomic<ParallelTaskSink> g_task_sink{nullptr};
+// Each hook in its own atomic so a hot-path site loads exactly the
+// pointer it needs with one relaxed load.
+std::atomic<void (*)(std::size_t)> g_task_enqueued_hook{nullptr};
+std::atomic<void (*)(double)> g_task_started_hook{nullptr};
+std::atomic<void (*)(double)> g_task_finished_hook{nullptr};
+std::atomic<void (*)(double)> g_mutex_contended_hook{nullptr};
 
 // Workers flag themselves so nested parallel calls degrade to serial
 // instead of blocking on pool capacity.
 thread_local bool t_on_pool_thread = false;
 
-// Monotonic microsecond stamp for queue-wait measurement, epoch fixed at
-// first use (WallTimer is the sanctioned clock wrapper).
+// Monotonic microsecond stamp for queue-wait / run-time measurement,
+// epoch fixed at first use (WallTimer is the sanctioned clock wrapper).
 double QueueClockMicros() {
   static const WallTimer* epoch = new WallTimer();
   return epoch->ElapsedMicros();
@@ -29,15 +35,36 @@ double QueueClockMicros() {
 
 }  // namespace
 
-void SetParallelTaskSink(ParallelTaskSink sink) {
-  g_task_sink.store(sink, std::memory_order_relaxed);
+void SetPoolHooks(const PoolHooks& hooks) {
+  g_task_enqueued_hook.store(hooks.task_enqueued, std::memory_order_relaxed);
+  g_task_started_hook.store(hooks.task_started, std::memory_order_relaxed);
+  g_task_finished_hook.store(hooks.task_finished, std::memory_order_relaxed);
+  g_mutex_contended_hook.store(hooks.mutex_contended,
+                               std::memory_order_relaxed);
 }
 
 bool OnPoolThread() { return t_on_pool_thread; }
 
 }  // namespace internal
 
+void Mutex::LockSlow() {
+  const auto hook =
+      internal::g_mutex_contended_hook.load(std::memory_order_relaxed);
+  if (hook == nullptr) {
+    mu_.lock();
+    return;
+  }
+  const double start_us = internal::QueueClockMicros();
+  mu_.lock();
+  hook(internal::QueueClockMicros() - start_us);
+}
+
 void CondVar::Wait(Mutex& mu) { cv_.wait(mu.mu_); }
+
+bool CondVar::WaitFor(Mutex& mu, double timeout_ms) {
+  return cv_.wait_for(mu.mu_, std::chrono::duration<double, std::milli>(
+                                  timeout_ms)) == std::cv_status::no_timeout;
+}
 
 std::size_t ParallelOptions::Resolve() const {
   if (threads != 0) return threads;
@@ -64,13 +91,18 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   MC_CHECK(task != nullptr);
+  std::size_t depth = 0;
   {
     MutexLock lock(mu_);
     MC_CHECK(!shutdown_) << "Submit() on a shut-down ThreadPool";
     queue_.push_back(QueuedTask{std::move(task),
                                 internal::QueueClockMicros()});
+    depth = queue_.size();
   }
   work_cv_.NotifyOne();
+  const auto enqueued_hook =
+      internal::g_task_enqueued_hook.load(std::memory_order_relaxed);
+  if (enqueued_hook != nullptr) enqueued_hook(depth);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -84,12 +116,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    const internal::ParallelTaskSink sink =
-        internal::g_task_sink.load(std::memory_order_relaxed);
-    if (sink != nullptr) {
-      sink(internal::QueueClockMicros() - task.enqueue_us);
+    const auto started_hook =
+        internal::g_task_started_hook.load(std::memory_order_relaxed);
+    if (started_hook != nullptr) {
+      started_hook(internal::QueueClockMicros() - task.enqueue_us);
     }
-    task.fn();
+    const auto finished_hook =
+        internal::g_task_finished_hook.load(std::memory_order_relaxed);
+    if (finished_hook == nullptr) {
+      task.fn();
+    } else {
+      const double run_start_us = internal::QueueClockMicros();
+      task.fn();
+      finished_hook(internal::QueueClockMicros() - run_start_us);
+    }
   }
 }
 

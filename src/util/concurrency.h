@@ -45,11 +45,20 @@ class MC_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() MC_ACQUIRE() { mu_.lock(); }
+  // Uncontended locks stay a single try_lock; a lock that has to block
+  // takes the out-of-line slow path, which times the wait and reports it
+  // through the pool-hooks contention channel (obs `mc.pool.*` metrics)
+  // when one is installed.
+  void Lock() MC_ACQUIRE() {
+    if (mu_.try_lock()) return;
+    LockSlow();
+  }
   void Unlock() MC_RELEASE() { mu_.unlock(); }
   bool TryLock() MC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
+  void LockSlow();
+
   friend class CondVar;
   std::mutex mu_;
 };
@@ -89,6 +98,12 @@ class CondVar {
     while (!predicate()) Wait(mu);
   }
 
+  // Timed wait: blocks until notified or `timeout_ms` elapsed. Returns
+  // false on timeout, true when (possibly spuriously) notified -- so
+  // callers still need a predicate loop. Used by periodic background
+  // work (obs telemetry snapshots) to sleep interruptibly.
+  bool WaitFor(Mutex& mu, double timeout_ms) MC_REQUIRES(mu);
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 
@@ -111,13 +126,25 @@ struct ParallelOptions {
 
 namespace internal {
 
-// Hook through which the obs layer (a higher-level library) observes
-// pool activity without util linking against it: called once per
-// executed pool task with the time the task sat queued before a worker
-// picked it up. Installed by src/obs/obs.cc at static-init time; null
-// (and skipped) when no obs-linked binary is running.
-using ParallelTaskSink = void (*)(double queue_wait_us);
-void SetParallelTaskSink(ParallelTaskSink sink);
+// Hooks through which the obs layer (a higher-level library) observes
+// pool and lock activity without util linking against it. Installed by
+// src/obs/obs.cc at static-init time; every pointer is optional and
+// skipped when null.
+//
+// Hook bodies MUST be lock-free (atomic counters / histogram updates
+// only): mutex_contended in particular fires from inside Mutex::Lock,
+// so a hook that locks would recurse.
+struct PoolHooks {
+  // After Submit() pushed a task; depth includes the new task (>= 1).
+  void (*task_enqueued)(std::size_t queue_depth) = nullptr;
+  // A worker picked a task up after it sat queued for queue_wait_us.
+  void (*task_started)(double queue_wait_us) = nullptr;
+  // The task body returned after running for run_us.
+  void (*task_finished)(double run_us) = nullptr;
+  // A Mutex::Lock() had to block for wait_us before acquiring.
+  void (*mutex_contended)(double wait_us) = nullptr;
+};
+void SetPoolHooks(const PoolHooks& hooks);
 
 // True while the calling thread is a pool worker. Parallel helpers
 // invoked from inside a task degrade to the serial path instead of
@@ -156,7 +183,7 @@ class ThreadPool {
  private:
   struct QueuedTask {
     std::function<void()> fn;
-    double enqueue_us = 0.0;  // for the queue-wait (steal_wait) metric
+    double enqueue_us = 0.0;  // for the queue-wait metrics (task_started)
   };
 
   void WorkerLoop();

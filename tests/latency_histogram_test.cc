@@ -1,0 +1,199 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// LatencyHistogram (obs/latency_histogram.h): log-bucketed geometry,
+// exactness at bucket boundaries, merge associativity, and quantile
+// agreement against a sorted-reference oracle on large samples.
+
+#include "obs/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace monoclass {
+namespace obs {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isinf(h.Min()));
+  EXPECT_TRUE(std::isinf(-h.Max()));
+}
+
+TEST(LatencyHistogramTest, SingleObservationIsExact) {
+  LatencyHistogram h;
+  h.Observe(42.0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 42.0);
+  EXPECT_EQ(h.Max(), 42.0);
+  // Every quantile of a single sample collapses onto the exact value via
+  // the [Min(), Max()] clamp, regardless of bucket width.
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesAreExact) {
+  // A power of two with a zero mantissa tail lands exactly on a bucket
+  // lower bound; the round-trip through BucketIndex must return a bound
+  // that brackets the value tightly (within one sub-bucket).
+  for (const double value : {0.0625, 0.5, 1.0, 2.0, 1024.0, 1048576.0}) {
+    const int index = LatencyHistogram::BucketIndex(value);
+    EXPECT_GE(value, LatencyHistogram::BucketLowerBound(index))
+        << "value=" << value;
+    EXPECT_LT(value, LatencyHistogram::BucketUpperBound(index))
+        << "value=" << value;
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotone) {
+  int previous = -1;
+  for (double value = 0.0625; value < 1e9; value *= 1.037) {
+    const int index = LatencyHistogram::BucketIndex(value);
+    EXPECT_GE(index, previous) << "value=" << value;
+    previous = index;
+  }
+}
+
+TEST(LatencyHistogramTest, RelativeErrorBoundedBySubBucketWidth) {
+  // The contract that makes p99s trustworthy: any reported quantile is
+  // within one sub-bucket's relative width (1/32) of the exact value.
+  LatencyHistogram h;
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = std::exp(rng.UniformDouble() * 12.0);  // ~[1, 1.6e5]
+    values.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const size_t rank = std::min(
+        values.size() - 1,
+        static_cast<size_t>(std::ceil(q * values.size())) - 1);
+    const double exact = values[rank];
+    const double approx = h.Quantile(q);
+    EXPECT_NEAR(approx, exact, exact / 32.0 + 1e-9) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MillionSampleQuantilesAgreeWithSortedReference) {
+  LatencyHistogram h;
+  Rng rng(20260808);
+  std::vector<double> values;
+  values.reserve(1000000);
+  for (int i = 0; i < 1000000; ++i) {
+    // Mixture shaped like real latencies: a tight mode plus a heavy tail.
+    const double v = rng.Bernoulli(0.95)
+                         ? 50.0 + 10.0 * rng.UniformDouble()
+                         : std::exp(6.0 + 6.0 * rng.UniformDouble());
+    values.push_back(v);
+    h.Observe(v);
+  }
+  EXPECT_EQ(h.Count(), 1000000u);
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const size_t rank = std::min(
+        values.size() - 1,
+        static_cast<size_t>(std::ceil(q * values.size())) - 1);
+    const double exact = values[rank];
+    EXPECT_NEAR(h.Quantile(q), exact, exact / 32.0 + 1e-9) << "q=" << q;
+  }
+  EXPECT_EQ(h.Min(), values.front());
+  EXPECT_EQ(h.Max(), values.back());
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedObservation) {
+  LatencyHistogram separate_a;
+  LatencyHistogram separate_b;
+  LatencyHistogram combined;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::exp(rng.UniformDouble() * 10.0);
+    (i % 2 == 0 ? separate_a : separate_b).Observe(v);
+    combined.Observe(v);
+  }
+  separate_a.Merge(separate_b);
+  EXPECT_EQ(separate_a.Count(), combined.Count());
+  EXPECT_DOUBLE_EQ(separate_a.Sum(), combined.Sum());
+  EXPECT_EQ(separate_a.Min(), combined.Min());
+  EXPECT_EQ(separate_a.Max(), combined.Max());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(separate_a.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociative) {
+  // (a + b) + c and a + (b + c) must agree bucket for bucket; quantiles
+  // and moments are a full proxy for that.
+  LatencyHistogram a1, b1, c1, a2, b2, c2;
+  auto gen = [](Rng& rng, LatencyHistogram& h, int n, double scale) {
+    for (int i = 0; i < n; ++i) {
+      h.Observe(scale * (1.0 + rng.UniformDouble()));
+    }
+  };
+  Rng rng1(17), rng2(17);
+  gen(rng1, a1, 1000, 1.0);
+  gen(rng1, b1, 500, 100.0);
+  gen(rng1, c1, 250, 10000.0);
+  gen(rng2, a2, 1000, 1.0);
+  gen(rng2, b2, 500, 100.0);
+  gen(rng2, c2, 250, 10000.0);
+  // left: (a1 + b1) + c1
+  a1.Merge(b1);
+  a1.Merge(c1);
+  // right: a2 + (b2 + c2)
+  b2.Merge(c2);
+  a2.Merge(b2);
+  EXPECT_EQ(a1.Count(), a2.Count());
+  EXPECT_DOUBLE_EQ(a1.Sum(), a2.Sum());
+  EXPECT_EQ(a1.Min(), a2.Min());
+  EXPECT_EQ(a1.Max(), a2.Max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a1.Quantile(q), a2.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Observe(10.0);
+  h.Observe(20.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+  h.Observe(5.0);
+  EXPECT_EQ(h.Quantile(0.5), 5.0);
+}
+
+TEST(LatencyHistogramTest, UnderflowAndOverflowBuckets) {
+  LatencyHistogram h;
+  h.Observe(1e-9);  // below the smallest octave -> underflow bucket
+  h.Observe(1e12);  // beyond the largest octave -> overflow bucket
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Min(), 1e-9);
+  EXPECT_EQ(h.Max(), 1e12);
+  // Quantiles stay finite and clamped to the observed range.
+  EXPECT_GE(h.Quantile(0.5), 1e-9);
+  EXPECT_LE(h.Quantile(0.999), 1e12);
+}
+
+TEST(LatencyHistogramTest, NegativeAndZeroGoToUnderflow) {
+  LatencyHistogram h;
+  h.Observe(0.0);
+  h.Observe(-3.0);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_LE(h.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace monoclass

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -41,8 +42,30 @@ TEST(ObsCompileOutTest, MacroArgumentsNotEvaluated) {
 TEST(ObsCompileOutTest, NothingReachesTheRegistry) {
   SetEnabled(true);
   MC_COUNTER("compile_out.registry_probe", 1);
+  MC_LATENCY("mc.lat.compile_out_probe");
   const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
   EXPECT_EQ(snapshot.Find("compile_out.registry_probe"), nullptr);
+  EXPECT_EQ(snapshot.Find("mc.lat.compile_out_probe"), nullptr);
+  SetEnabled(false);
+}
+
+TEST(ObsCompileOutTest, LatencyScopeRecordsNothing) {
+  // MC_LATENCY compiled out must not create a scope object, register a
+  // histogram, or feed the flight recorder.
+  SetEnabled(true);
+  StartFlightRecording();
+  {
+    MC_LATENCY("mc.lat.compile_out_scope");
+  }
+  StopFlightRecording();
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.Find("mc.lat.compile_out_scope"), nullptr);
+  const FlightSnapshot flight = SnapshotFlight();
+  for (const FlightEvent& event : flight.events) {
+    ASSERT_LT(event.name_id, flight.names.size());
+    EXPECT_NE(flight.names[event.name_id], "mc.lat.compile_out_scope");
+  }
+  ResetFlightRecorder();
   SetEnabled(false);
 }
 

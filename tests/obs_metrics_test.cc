@@ -117,6 +117,46 @@ TEST(MetricsRegistryTest, KindCollisionDies) {
   EXPECT_DEATH(registry.GetGauge("test.collision.name"), "kind");
 }
 
+TEST(MetricsRegistryTest, LatencyKindCollisionDies) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetLatency("test.collision.latency");
+  EXPECT_DEATH(registry.GetHistogram("test.collision.latency"), "kind");
+}
+
+TEST(MetricsRegistryTest, LatencySnapshotCarriesQuantiles) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  LatencyHistogram* latency = registry.GetLatency("test.lat.snapshot");
+  EXPECT_EQ(latency, registry.GetLatency("test.lat.snapshot"));
+  for (int i = 1; i <= 100; ++i) latency->Observe(static_cast<double>(i));
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* sample = snapshot.Find("test.lat.snapshot");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricSample::Kind::kLatency);
+  EXPECT_EQ(sample->count, 100u);
+  EXPECT_GT(sample->p50, 0.0);
+  EXPECT_GE(sample->p99, sample->p50);
+  EXPECT_GE(sample->p999, sample->p99);
+  EXPECT_DOUBLE_EQ(sample->max, 100.0);
+}
+
+TEST(MetricsRegistryTest, ExposeTextIsParsableAndTyped) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.expose.c")->Add(4);
+  registry.GetGauge("test.expose.g")->Set(2.5);
+  registry.GetLatency("test.lat.expose")->Observe(10.0);
+  std::ostringstream out;
+  registry.ExposeText(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE test.expose.c counter\ntest.expose.c 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test.expose.g gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test.lat.expose summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test.lat.expose{quantile=\"0.5\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("test.lat.expose_count 1\n"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, JsonDumpIsValidJson) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetCounter("test.json.c\"quoted\"")->Add(3);

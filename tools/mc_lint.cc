@@ -31,10 +31,16 @@
 //          would leak hash-table layout into parallel results).
 //   MC008  obs naming: MC_SPAN names are lowercase path-ish
 //          ([a-z0-9_]+ segments split on '/' or '.'); MC_COUNTER /
-//          MC_GAUGE / MC_HISTOGRAM names are dotted lowercase.
+//          MC_GAUGE / MC_HISTOGRAM / MC_LATENCY names are dotted
+//          lowercase.
 //   MC009  audit coverage: every public solver entry point must reach
 //          a MONOCLASS_AUDIT hook (an MC_AUDIT call or an Audit*
 //          verifier) through the name-level call graph of src/.
+//   MC010  latency discipline: the "mc.lat." namespace belongs to
+//          MC_LATENCY exclusively -- outside src/obs/, no hand-rolled
+//          MC_HISTOGRAM / MC_COUNTER / MC_GAUGE under an mc.lat. name,
+//          and every MC_LATENCY literal must start with "mc.lat."
+//          (one macro, one timing protocol, one quantile pipeline).
 //
 // Output is machine-readable, one violation per line:
 //
@@ -511,7 +517,8 @@ void CheckObsNaming(const SourceFile& f) {
     const std::string& name = t[i].text;
     const bool is_span = name == "MC_SPAN";
     const bool is_metric = name == "MC_COUNTER" || name == "MC_GAUGE" ||
-                           name == "MC_HISTOGRAM" || name == "MC_EVENT";
+                           name == "MC_HISTOGRAM" || name == "MC_EVENT" ||
+                           name == "MC_LATENCY";
     if (!is_span && !is_metric) continue;
     if (t[i + 1].text != "(") continue;
     // Only string-literal first arguments are checked: the macro
@@ -528,6 +535,46 @@ void CheckObsNaming(const SourceFile& f) {
            name + " name \"" + arg +
                "\" violates the naming convention (dotted lowercase "
                "[a-z0-9_] segments)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// MC010: latency discipline.
+//
+// The mc.lat.* metric namespace is the contract between hot-path
+// instrumentation and every latency consumer (exposition quantiles,
+// flight spans, mc_top). MC_LATENCY is the only macro that feeds all of
+// them at once; a hand-rolled MC_HISTOGRAM("mc.lat.x", elapsed) would
+// produce a latency series with no flight events and registry-kind
+// collisions waiting to happen. src/obs/ itself is exempt -- the macro
+// definitions and registry plumbing live there.
+
+void CheckLatencyDiscipline(const SourceFile& f) {
+  if (StartsWith(f.rel, "src/obs/")) return;
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kId) continue;
+    const std::string& name = t[i].text;
+    const bool is_latency = name == "MC_LATENCY";
+    const bool is_other_metric = name == "MC_COUNTER" || name == "MC_GAUGE" ||
+                                 name == "MC_HISTOGRAM";
+    if (!is_latency && !is_other_metric) continue;
+    if (t[i + 1].text != "(") continue;
+    if (t[i + 2].kind != TokKind::kStr) continue;  // macro-definition sites
+    const std::string& arg = t[i + 2].text;
+    const bool in_lat_namespace = arg.rfind("mc.lat.", 0) == 0;
+    if (is_other_metric && in_lat_namespace) {
+      Emit(f.rel, t[i].line, "MC010",
+           name + " name \"" + arg +
+               "\" hand-rolls a latency metric -- the mc.lat. namespace is "
+               "reserved for MC_LATENCY (scoped timing + quantiles + flight "
+               "events in one macro)");
+    } else if (is_latency && !in_lat_namespace) {
+      Emit(f.rel, t[i].line, "MC010",
+           "MC_LATENCY name \"" + arg +
+               "\" is outside the mc.lat. namespace -- latency histograms "
+               "must be named mc.lat.<site>");
     }
   }
 }
@@ -744,7 +791,7 @@ int main(int argc, char** argv) {
     if (arg == "-h" || arg == "--help") {
       std::cout << "usage: mc_lint [REPO_ROOT]\n"
                    "Checks the monoclass repo conventions (rules "
-                   "MC001-MC009); see docs/static_analysis.md.\n";
+                   "MC001-MC010); see docs/static_analysis.md.\n";
       return 0;
     }
     root = fs::path(std::string(arg));
@@ -787,6 +834,7 @@ int main(int argc, char** argv) {
     CheckConcurrencyDiscipline(f);
     CheckParallelForDeterminism(f);
     CheckObsNaming(f);
+    CheckLatencyDiscipline(f);
   }
   CheckUmbrella(files);
   CheckAuditCoverage(files);

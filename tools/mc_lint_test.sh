@@ -201,6 +201,40 @@ sed -i 's/int kNothing = 0;/inline void Op() { MC_SPAN("passive\/solve"); MC_COU
   "$tmp/tree/src/util/good.h"
 expect_clean "conventional span and counter names"
 
+# --- MC010: latency discipline ------------------------------------------
+# Hand-rolling a latency series with MC_HISTOGRAM bypasses MC_LATENCY's
+# scoped timing + flight events; the mc.lat. namespace is reserved.
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline void Op(double us) { MC_HISTOGRAM("mc.lat.solve", us); }/' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "an MC_HISTOGRAM squatting on the mc.lat. namespace" MC010
+
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline void Op() { MC_COUNTER("mc.lat.solve", 1); }/' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "an MC_COUNTER squatting on the mc.lat. namespace" MC010
+
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline void Op() { MC_LATENCY("mc.solve.wall"); }/' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "an MC_LATENCY named outside the mc.lat. namespace" MC010
+
+# Negative: MC_LATENCY under mc.lat.* is the sanctioned combination, and
+# src/obs/ (the macro plumbing itself) is exempt from the reservation.
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline void Op() { MC_LATENCY("mc.lat.solve"); MC_HISTOGRAM("mc.flow.augment_len", 3.0); }/' \
+  "$tmp/tree/src/util/good.h"
+expect_clean "MC_LATENCY under mc.lat. plus an ordinary histogram"
+
+make_clean_tree
+mkdir -p "$tmp/tree/src/obs"
+header_boilerplate MONOCLASS_OBS_PLUMBING_H_ > "$tmp/tree/src/obs/plumbing.h"
+sed -i 's/int kNothing = 0;/inline void Op(double us) { MC_HISTOGRAM("mc.lat.raw", us); }/' \
+  "$tmp/tree/src/obs/plumbing.h"
+sed -i 's|#include "util/good.h"|#include "util/good.h"\n#include "obs/plumbing.h"|' \
+  "$tmp/tree/src/monoclass.h"
+expect_clean "mc.lat. plumbing inside src/obs/ (exempt)"
+
 # --- MC009: audit coverage ----------------------------------------------
 # An entry point whose whole call closure never touches an audit hook.
 make_clean_tree

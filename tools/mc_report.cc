@@ -9,6 +9,7 @@
 //   mc_report [--validate] file.json...
 //   mc_report --compare baseline.json current.json
 //             [--ignore prefix]... [--tolerance prefix=rel]...
+//   mc_report --flight dump.flight
 //
 // Without --validate, prints a human-readable summary of each file.
 // With --validate, checks each file against the expected schema and
@@ -19,13 +20,21 @@
 //   metrics dump  -- has "counters" / "gauges" / "histograms"
 //
 // With --compare, diffs two bench reports of the same experiment as a
-// deterministic regression gate: per-phase counter deltas and the final
-// counter/gauge snapshot must match exactly -- or within a declared
-// relative tolerance (--tolerance mc.net.=0.05) -- while keys under an
-// --ignore prefix (machine-dependent pool metrics, say) are skipped and
-// wall-clock timings are reported but never gate. Exits non-zero on any
-// drift, listing every drifted key. CI uses this to pin the network
-// edge/vertex counts of the checked-in BENCH_E*.json baselines.
+// deterministic regression gate: both inputs must first pass full bench
+// schema validation (a baseline missing a manifest field is a hard
+// error, not a silent vacuous pass), then per-phase counter deltas and
+// the final counter/gauge snapshot must match exactly -- or within a
+// declared relative tolerance (--tolerance mc.net.=0.05) -- while keys
+// under an --ignore prefix (machine-dependent pool metrics, say) are
+// skipped and wall-clock timings are reported but never gate. Exits
+// non-zero on any drift, listing every drifted key. CI uses this to pin
+// the network edge/vertex counts of the checked-in BENCH_E*.json
+// baselines.
+//
+// With --flight, decodes a binary flight-recorder dump (the
+// "<path>.flight" file written by --telemetry-dump runs, see
+// obs/flight.h) and writes the equivalent Chrome-trace JSON to stdout;
+// a decode summary (events, threads, wraparound losses) goes to stderr.
 
 #include <algorithm>
 #include <cmath>
@@ -35,10 +44,12 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
 #include "util/json.h"
 
 namespace monoclass {
@@ -47,9 +58,10 @@ namespace {
 struct Options {
   bool validate = false;
   bool compare = false;
+  bool flight = false;
   std::vector<std::string> files;
   // --compare gating rules. Prefixes match the *metric* name (the
-  // counter/gauge key, e.g. "mc.par.pool.tasks"), not the phase name,
+  // counter/gauge key, e.g. "mc.pool.tasks"), not the phase name,
   // so one --ignore silences a family across every phase.
   std::vector<std::string> ignore_prefixes;
   std::vector<std::pair<std::string, double>> tolerances;
@@ -95,11 +107,22 @@ void ValidateManifest(const JsonValue& manifest, Validator& v) {
 }
 
 void ValidateBenchReport(const JsonValue& root, Validator& v) {
-  v.Require(root, "schema_version", JsonValue::Type::kNumber);
+  const JsonValue* schema =
+      v.Require(root, "schema_version", JsonValue::Type::kNumber);
   const JsonValue* manifest =
       v.Require(root, "manifest", JsonValue::Type::kObject);
   if (manifest != nullptr) ValidateManifest(*manifest, v);
-  v.Require(root, "metrics", JsonValue::Type::kObject);
+  const JsonValue* metrics =
+      v.Require(root, "metrics", JsonValue::Type::kObject);
+  if (metrics != nullptr) {
+    v.Require(*metrics, "counters", JsonValue::Type::kObject);
+    v.Require(*metrics, "gauges", JsonValue::Type::kObject);
+    v.Require(*metrics, "histograms", JsonValue::Type::kObject);
+    // Schema v3: the snapshot carries latency quantiles.
+    if (schema != nullptr && schema->AsNumber() >= 3) {
+      v.Require(*metrics, "latencies", JsonValue::Type::kObject);
+    }
+  }
   v.Require(root, "dropped_spans", JsonValue::Type::kNumber);
   const JsonValue* phases =
       v.Require(root, "phases", JsonValue::Type::kArray);
@@ -124,7 +147,10 @@ void ValidateChromeTrace(const JsonValue& root, Validator& v) {
   const JsonValue* events =
       v.Require(root, "traceEvents", JsonValue::Type::kArray);
   if (events == nullptr) return;
-  // Balanced B/E per thread, monotone timestamps per thread.
+  // Balanced B/E per thread, monotone timestamps per thread. "X"
+  // (complete), "C" (counter) and "i" (instant) events -- the shapes
+  // `mc_report --flight` emits -- are depth-neutral; an X additionally
+  // needs a non-negative "dur".
   std::map<uint64_t, int> depth;      // tid -> open spans
   std::map<uint64_t, double> last_ts; // tid -> last timestamp seen
   for (size_t i = 0; i < events->AsArray().size(); ++i) {
@@ -146,6 +172,14 @@ void ValidateChromeTrace(const JsonValue& root, Validator& v) {
       if (--depth[thread] < 0) {
         v.Fail("event " + std::to_string(i) + ": E without matching B");
       }
+    } else if (ph->AsString() == "X") {
+      const JsonValue* dur =
+          v.Require(event, "dur", JsonValue::Type::kNumber);
+      if (dur != nullptr && dur->AsNumber() < 0) {
+        v.Fail("event " + std::to_string(i) + ": X with negative dur");
+      }
+    } else if (ph->AsString() == "C" || ph->AsString() == "i") {
+      // Depth- and duration-free; nothing further to check.
     } else {
       v.Fail("event " + std::to_string(i) + ": unexpected ph \"" +
              ph->AsString() + "\"");
@@ -249,7 +283,8 @@ void PrintChromeTrace(const JsonValue& root) {
       const JsonValue* ph = event.Find("ph");
       const JsonValue* name = event.Find("name");
       if (ph == nullptr || name == nullptr || !ph->is_string() ||
-          !name->is_string() || ph->AsString() != "B") {
+          !name->is_string() ||
+          (ph->AsString() != "B" && ph->AsString() != "X")) {
         continue;
       }
       bool found = false;
@@ -287,6 +322,19 @@ void PrintMetricsDump(const JsonValue& root) {
                                                          : -1.0,
                   mean != nullptr && mean->is_number() ? mean->AsNumber()
                                                        : -1.0);
+    }
+  }
+  const JsonValue* latencies = root.Find("latencies");
+  if (latencies != nullptr && latencies->is_object()) {
+    for (const auto& [name, latency] : latencies->AsObject()) {
+      auto num = [&](const char* key) {
+        const JsonValue* value = latency.Find(key);
+        return value != nullptr && value->is_number() ? value->AsNumber()
+                                                      : -1.0;
+      };
+      std::printf("  %-55s n=%-8.0f p50=%.6g p99=%.6g max=%.6g us\n",
+                  name.c_str(), num("count"), num("p50"), num("p99"),
+                  num("max"));
     }
   }
 }
@@ -385,6 +433,10 @@ int CompareBenchReports(const Options& options) {
   const auto baseline = LoadJson(baseline_path);
   const auto current = LoadJson(current_path);
   if (!baseline.has_value() || !current.has_value()) return 1;
+  // Both inputs must be schema-valid bench reports before any diffing: a
+  // malformed baseline (say, a manifest missing "threads") used to slip
+  // through and let the gate pass vacuously. Now it is a hard error.
+  bool inputs_ok = true;
   for (const auto& [path, root] :
        {std::pair<const std::string&, const JsonValue&>{baseline_path,
                                                         *baseline},
@@ -394,6 +446,18 @@ int CompareBenchReports(const Options& options) {
       std::cerr << path << ": not a bench report\n";
       return 1;
     }
+    Validator v;
+    ValidateBenchReport(root, v);
+    if (!v.ok()) {
+      for (const std::string& problem : v.problems()) {
+        std::cerr << path << ": " << problem << "\n";
+      }
+      inputs_ok = false;
+    }
+  }
+  if (!inputs_ok) {
+    std::cerr << "mc_report --compare: FAIL (invalid input report)\n";
+    return 1;
   }
 
   size_t drifts = 0;
@@ -485,6 +549,33 @@ int CompareBenchReports(const Options& options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --flight: binary flight-recorder dump -> Chrome trace on stdout.
+
+int ConvertFlightDump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return 1;
+  }
+  obs::FlightSnapshot snapshot;
+  std::string error;
+  if (!obs::ReadFlightDump(in, &snapshot, &error)) {
+    std::cerr << path << ": " << error << "\n";
+    return 1;
+  }
+  std::set<uint32_t> threads;
+  for (const obs::FlightEvent& event : snapshot.events) {
+    threads.insert(event.tid);
+  }
+  std::cerr << path << ": " << snapshot.events.size() << " event(s), "
+            << threads.size() << " thread(s), " << snapshot.names.size()
+            << " name(s), " << snapshot.overwritten
+            << " overwritten, " << snapshot.torn << " torn\n";
+  obs::WriteFlightChromeTrace(snapshot, std::cout);
+  return 0;
+}
+
 int ProcessFile(const std::string& path, bool validate) {
   std::ifstream in(path);
   if (!in) {
@@ -547,7 +638,8 @@ int ProcessFile(const std::string& path, bool validate) {
 constexpr char kUsage[] =
     "usage: mc_report [--validate] file.json...\n"
     "       mc_report --compare baseline.json current.json\n"
-    "                 [--ignore prefix]... [--tolerance prefix=rel]...\n";
+    "                 [--ignore prefix]... [--tolerance prefix=rel]...\n"
+    "       mc_report --flight dump.flight   (Chrome trace to stdout)\n";
 
 int Main(int argc, char** argv) {
   Options options;
@@ -557,6 +649,8 @@ int Main(int argc, char** argv) {
       options.validate = true;
     } else if (arg == "--compare") {
       options.compare = true;
+    } else if (arg == "--flight") {
+      options.flight = true;
     } else if (arg == "--ignore") {
       if (i + 1 >= argc) {
         std::cerr << "--ignore needs a prefix argument\n" << kUsage;
@@ -591,6 +685,13 @@ int Main(int argc, char** argv) {
     } else {
       options.files.push_back(arg);
     }
+  }
+  if (options.flight) {
+    if (options.validate || options.compare || options.files.size() != 1) {
+      std::cerr << "--flight takes exactly one binary dump file\n" << kUsage;
+      return 2;
+    }
+    return ConvertFlightDump(options.files[0]);
   }
   if (options.compare) {
     if (options.validate || options.files.size() != 2) {

@@ -1,0 +1,259 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// mc_top: a terminal dashboard over the live telemetry exposition file
+// written by a bench run with --telemetry-dump (obs/telemetry.h). The
+// writer republishes the file atomically every interval; mc_top polls
+// it, parses the `# monoclass exposition v1` text format and repaints
+// in place -- counters with rates derived from consecutive snapshots,
+// gauges, latency summaries (p50/p90/p99/p999) and plain histograms.
+//
+// Usage: mc_top [--interval ms] [--once] exposition.txt
+//   --interval ms   poll period (default 500)
+//   --once          render a single frame and exit (CI smoke mode);
+//                   exits non-zero if the file is missing or malformed
+//
+// Attach to a run:
+//   bench_passive_scaling --telemetry-dump /tmp/mc.telemetry &
+//   mc_top /tmp/mc.telemetry
+//
+// The dashboard never writes anything and holds the file open only
+// while parsing a frame, so it can attach and detach freely.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace monoclass {
+namespace {
+
+// One parsed metric family. Which fields are meaningful depends on
+// `kind` ("counter", "gauge", "histogram", "summary").
+struct Metric {
+  std::string kind;
+  double value = 0.0;  // counter / gauge scalar
+  double count = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::map<std::string, double> quantiles;  // "0.5" -> p50 ...
+};
+
+struct Frame {
+  double ts_us = 0.0;
+  std::map<std::string, Metric> metrics;
+};
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && end != text.c_str() && *end == '\0';
+}
+
+// Parses one exposition file. Returns false (with `error` filled) when
+// the file is unreadable or not an exposition; unknown lines are
+// skipped, so the format can grow without breaking older dashboards.
+bool ParseExposition(const std::string& path, Frame* frame,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("# monoclass exposition v1", 0) != 0) {
+    *error = path + ": not a monoclass exposition file";
+    return false;
+  }
+  frame->metrics.clear();
+  frame->ts_us = 0.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, keyword, name, kind;
+      meta >> hash >> keyword;
+      if (keyword == "ts_us") {
+        meta >> frame->ts_us;
+      } else if (keyword == "TYPE" && (meta >> name >> kind)) {
+        frame->metrics[name].kind = kind;
+      }
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    std::string key = line.substr(0, space);
+    double value = 0.0;
+    if (!ParseDouble(line.substr(space + 1), &value)) continue;
+    // name{quantile="0.5"} value
+    const size_t brace = key.find('{');
+    if (brace != std::string::npos) {
+      const std::string name = key.substr(0, brace);
+      const size_t q = key.find("quantile=\"", brace);
+      const size_t q_end =
+          q == std::string::npos ? std::string::npos : key.find('"', q + 10);
+      if (q != std::string::npos && q_end != std::string::npos) {
+        frame->metrics[name].quantiles[key.substr(q + 10, q_end - q - 10)] =
+            value;
+      }
+      continue;
+    }
+    // name_count / name_sum / name_min / name_max attach to a declared
+    // family; a bare name is the counter/gauge scalar.
+    for (const char* suffix : {"_count", "_sum", "_min", "_max"}) {
+      if (key.size() > std::strlen(suffix) &&
+          key.compare(key.size() - std::strlen(suffix), std::string::npos,
+                      suffix) == 0) {
+        const std::string base =
+            key.substr(0, key.size() - std::strlen(suffix));
+        const auto it = frame->metrics.find(base);
+        if (it != frame->metrics.end()) {
+          if (std::strcmp(suffix, "_count") == 0) it->second.count = value;
+          if (std::strcmp(suffix, "_sum") == 0) it->second.sum = value;
+          if (std::strcmp(suffix, "_min") == 0) it->second.min = value;
+          if (std::strcmp(suffix, "_max") == 0) it->second.max = value;
+          key.clear();
+        }
+        break;
+      }
+    }
+    if (!key.empty()) frame->metrics[key].value = value;
+  }
+  return true;
+}
+
+void RenderFrame(const Frame& frame, const Frame& previous,
+                 const std::string& path, uint64_t refreshes) {
+  std::printf("mc_top -- %s   snapshot ts %.0f us   refresh #%llu\n",
+              path.c_str(), frame.ts_us,
+              static_cast<unsigned long long>(refreshes));
+  const double dt_s = previous.ts_us > 0.0 && frame.ts_us > previous.ts_us
+                          ? (frame.ts_us - previous.ts_us) * 1e-6
+                          : 0.0;
+
+  auto have_kind = [&](const char* kind) {
+    return std::any_of(frame.metrics.begin(), frame.metrics.end(),
+                       [&](const auto& entry) {
+                         return entry.second.kind == kind;
+                       });
+  };
+
+  if (have_kind("counter")) {
+    std::printf("\n%-44s %14s %12s\n", "COUNTER", "total", "per-sec");
+    for (const auto& [name, metric] : frame.metrics) {
+      if (metric.kind != "counter") continue;
+      double rate = 0.0;
+      const auto prev = previous.metrics.find(name);
+      if (dt_s > 0.0 && prev != previous.metrics.end()) {
+        rate = (metric.value - prev->second.value) / dt_s;
+      }
+      std::printf("%-44s %14.0f %12.1f\n", name.c_str(), metric.value,
+                  rate);
+    }
+  }
+  if (have_kind("gauge")) {
+    std::printf("\n%-44s %14s\n", "GAUGE", "value");
+    for (const auto& [name, metric] : frame.metrics) {
+      if (metric.kind != "gauge") continue;
+      std::printf("%-44s %14.6g\n", name.c_str(), metric.value);
+    }
+  }
+  if (have_kind("summary")) {
+    std::printf("\n%-34s %9s %9s %9s %9s %9s %9s\n", "LATENCY (us)", "count",
+                "p50", "p90", "p99", "p999", "max");
+    for (const auto& [name, metric] : frame.metrics) {
+      if (metric.kind != "summary") continue;
+      auto q = [&](const char* key) {
+        const auto it = metric.quantiles.find(key);
+        return it == metric.quantiles.end() ? 0.0 : it->second;
+      };
+      std::printf("%-34s %9.0f %9.3g %9.3g %9.3g %9.3g %9.3g\n",
+                  name.c_str(), metric.count, q("0.5"), q("0.9"), q("0.99"),
+                  q("0.999"), metric.max);
+    }
+  }
+  if (have_kind("histogram")) {
+    std::printf("\n%-34s %9s %12s %9s %9s\n", "HISTOGRAM", "count", "mean",
+                "min", "max");
+    for (const auto& [name, metric] : frame.metrics) {
+      if (metric.kind != "histogram") continue;
+      std::printf("%-34s %9.0f %12.6g %9.3g %9.3g\n", name.c_str(),
+                  metric.count,
+                  metric.count > 0 ? metric.sum / metric.count : 0.0,
+                  metric.min, metric.max);
+    }
+  }
+  std::fflush(stdout);
+}
+
+constexpr char kUsage[] =
+    "usage: mc_top [--interval ms] [--once] exposition.txt\n";
+
+int Main(int argc, char** argv) {
+  int interval_ms = 500;
+  bool once = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+      if (interval_ms < 1) interval_ms = 1;
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << arg << "\n" << kUsage;
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << kUsage;
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  Frame current;
+  Frame previous;
+  uint64_t refreshes = 0;
+  for (;;) {
+    std::string error;
+    if (ParseExposition(path, &current, &error)) {
+      ++refreshes;
+      if (!once) std::printf("\x1b[H\x1b[2J");  // home + clear
+      RenderFrame(current, previous, path, refreshes);
+      previous = current;
+    } else if (once) {
+      std::cerr << "mc_top: " << error << "\n";
+      return 1;
+    } else {
+      std::printf("\x1b[H\x1b[2Jmc_top: waiting for %s (%s)\n", path.c_str(),
+                  error.c_str());
+      std::fflush(stdout);
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main(int argc, char** argv) {
+  return monoclass::Main(argc, argv);
+}
