@@ -1,0 +1,1333 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The mc_model scheduler: serialized execution, DFS over scheduling and
+// value choice points with sleep-set pruning and an optional preemption
+// bound, vector-clock happens-before with C++11 fence semantics, and
+// per-location store buffers so relaxed loads can return every value
+// modification order permits. See scheduler.h for the contract and
+// docs/static_analysis.md for the design narrative.
+//
+// This file deliberately uses raw std:: primitives (it IS the model
+// runtime) and is allowlisted by mc_lint rules MC006/MC011.
+
+#include "model/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace monoclass {
+namespace model {
+namespace {
+
+// ---------------------------------------------------------------------
+// Vector clocks. Indexed by model-thread id; out-of-range reads are 0,
+// writes resize. Sizes stay tiny (2-4 threads), so copies are cheap.
+using VClock = std::vector<uint64_t>;
+
+uint64_t ClockAt(const VClock& v, std::size_t i) {
+  return i < v.size() ? v[i] : 0;
+}
+
+void ClockSet(VClock& v, std::size_t i, uint64_t value) {
+  if (i >= v.size()) v.resize(i + 1, 0);
+  v[i] = value;
+}
+
+void ClockJoin(VClock& into, const VClock& from) {
+  if (from.size() > into.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Operation descriptors, for sleep-set dependence and diagnostics.
+enum class OpKind : uint8_t {
+  kStart,      // a spawned thread's first (empty) transition
+  kLoad,
+  kStore,
+  kRmw,
+  kFence,
+  kLock,
+  kUnlock,
+  kCvWait,
+  kCvTimeout,  // a timed waiter's always-enabled "timeout fires" move
+  kCvNotify,
+  kJoin,
+  kSpawn,
+  kPlainRead,
+  kPlainWrite,
+};
+
+const char* OpName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kStart: return "thread-start";
+    case OpKind::kLoad: return "atomic-load";
+    case OpKind::kStore: return "atomic-store";
+    case OpKind::kRmw: return "atomic-rmw";
+    case OpKind::kFence: return "fence";
+    case OpKind::kLock: return "mutex-lock";
+    case OpKind::kUnlock: return "mutex-unlock";
+    case OpKind::kCvWait: return "condvar-wait";
+    case OpKind::kCvTimeout: return "condvar-timeout";
+    case OpKind::kCvNotify: return "condvar-notify";
+    case OpKind::kJoin: return "thread-join";
+    case OpKind::kSpawn: return "thread-spawn";
+    case OpKind::kPlainRead: return "plain-read";
+    case OpKind::kPlainWrite: return "plain-write";
+  }
+  return "?";
+}
+
+struct OpDesc {
+  OpKind kind = OpKind::kStart;
+  const void* addr = nullptr;
+  bool write = false;
+  int target = -1;  // kJoin: joined thread id
+};
+
+// Two transitions are dependent when reordering them can change the
+// outcome. Conservative on fences (dependent with everything) and on
+// join (dependent with every op of the joined thread, so a sleeping
+// joiner is woken by the join target making progress).
+bool Dependent(const OpDesc& a, int a_tid, const OpDesc& b, int b_tid) {
+  if (a.kind == OpKind::kFence || b.kind == OpKind::kFence) return true;
+  if (a.kind == OpKind::kJoin && a.target == b_tid) return true;
+  if (b.kind == OpKind::kJoin && b.target == a_tid) return true;
+  if (a.addr != nullptr && a.addr == b.addr && (a.write || b.write)) {
+    return true;
+  }
+  return false;
+}
+
+// Unwinds the current execution (violation, step-bound truncation, or
+// sleep-set redundancy prune). Caught in ThreadBody / Explore.
+struct ExecutionAbort {};
+
+enum class Status : uint8_t {
+  kRunnable,
+  kBlockedMutex,
+  kBlockedCv,
+  kBlockedCvTimed,  // enabled: the scheduler may fire the timeout
+  kBlockedJoin,
+  kFinished,
+};
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kRunnable: return "runnable";
+    case Status::kBlockedMutex: return "blocked on mutex";
+    case Status::kBlockedCv: return "blocked on condvar";
+    case Status::kBlockedCvTimed: return "in timed condvar wait";
+    case Status::kBlockedJoin: return "blocked in join";
+    case Status::kFinished: return "finished";
+  }
+  return "?";
+}
+
+struct ThreadState {
+  int id = 0;
+  Status status = Status::kRunnable;
+  OpDesc pending;  // the op performed when this thread is next granted
+  VClock clock;    // C_t: happens-before knowledge
+  VClock acq_pending;  // A_t: joined into C_t at the next acquire fence
+  VClock fence_rel;    // F_t: C_t as of the last release fence
+  std::condition_variable park;
+  const void* wait_addr = nullptr;  // mutex / condvar blocked on
+  const void* wait_mutex = nullptr;  // mutex to reacquire after a wait
+  int join_target = -1;
+  bool cv_timed_out = false;
+  bool started = false;
+};
+
+// One store message in a location's modification order.
+struct StoreMsg {
+  uint64_t value = 0;
+  VClock msg;     // M_s: what an acquire load of this store synchronizes
+  VClock writer;  // V_s: the writer's full clock at the store (hb floor)
+  int writer_tid = -1;  // -1: the seeding "initial value" pseudo-store
+};
+
+struct AtomicLoc {
+  std::vector<StoreMsg> stores;
+  std::vector<int64_t> last_read;  // per tid, -1 = never (coherence floor)
+};
+
+struct PlainLoc {
+  // Stable per-execution name for reports: raw pointers vary run to run
+  // under ASLR, which would break byte-identical replay reports.
+  int id = -1;
+  VClock reads;   // reads[t] = t's local time at t's last read
+  VClock writes;  // writes[t] = t's local time at t's last write
+};
+
+struct MutexLoc {
+  int held_by = -1;
+  VClock clock;  // released-with clock, joined by the next acquirer
+};
+
+struct CvLoc {
+  std::vector<int> waiters;  // FIFO wake order for NotifyOne
+};
+
+// A DFS choice node: either a thread choice (who runs next) or a value
+// choice (which store a relaxed/acquire load returns).
+struct Node {
+  bool value_choice = false;
+  std::vector<int> alts;         // thread ids / store indices, ascending
+  std::vector<OpDesc> alt_ops;   // thread nodes: pending op per alt
+  std::vector<bool> explored;
+  std::size_t chosen = 0;        // index into alts
+  std::vector<std::pair<int, OpDesc>> sleep;  // sleep set on entry + adds
+  int running_before = -1;
+  int preempt_used = 0;
+};
+
+struct Scheduler;
+Scheduler* g_sched = nullptr;
+thread_local ThreadState* t_self = nullptr;
+
+struct Scheduler {
+  Options opts;
+  bool replay_mode = false;
+  std::vector<std::pair<char, int>> replay;  // parsed token
+
+  std::mutex mu;
+  std::condition_variable done_cv;  // ThreadBody exit, for abort cleanup
+
+  // --- per-execution state ---
+  std::vector<std::unique_ptr<ThreadState>> threads;
+  int current = 0;
+  int prev_running = 0;
+  bool aborting = false;
+  bool truncated_exec = false;
+  bool redundant_exec = false;
+  uint64_t steps = 0;
+  std::size_t depth = 0;  // choice nodes consumed this execution
+  std::size_t replay_pos = 0;
+  std::vector<std::pair<int, OpDesc>> sleep_cur;
+  int preempt_cur = 0;
+  std::vector<std::pair<char, int>> exec_choices;  // for the token
+  int next_plain_id = 0;
+  std::unordered_map<const void*, AtomicLoc> atomics;
+  std::unordered_map<const void*, PlainLoc> plains;
+  std::unordered_map<const void*, MutexLoc> mutexes;
+  std::unordered_map<const void*, CvLoc> cvs;
+
+  // --- across executions ---
+  std::vector<Node> stack;
+  bool violation = false;
+  std::string vio_message;
+  std::string vio_token;
+
+  // -------------------------------------------------------------------
+  std::string Token() const {
+    std::ostringstream out;
+    out << "MCSCHED1:";
+    for (std::size_t i = 0; i < exec_choices.size(); ++i) {
+      if (i != 0) out << ".";
+      out << exec_choices[i].first << exec_choices[i].second;
+    }
+    return out.str();
+  }
+
+  [[noreturn]] void Abort() {
+    aborting = true;
+    // Wake every parked thread: ParkUntilGranted re-checks `aborting`
+    // and unwinds, so the whole execution collapses instead of leaving
+    // survivors waiting for a grant that will never come.
+    for (const auto& t : threads) t->park.notify_all();
+    throw ExecutionAbort{};
+  }
+
+  [[noreturn]] void Violation(const std::string& message) {
+    if (!violation) {
+      violation = true;
+      vio_token = Token();
+      std::ostringstream out;
+      out << message << "\n  schedule: " << vio_token << "\n  threads:";
+      for (const auto& t : threads) {
+        out << "\n    T" << t->id << ": " << StatusName(t->status)
+            << ", next op " << OpName(t->pending.kind);
+      }
+      vio_message = out.str();
+    }
+    Abort();
+  }
+
+  void Tick(ThreadState* t) {
+    ClockSet(t->clock, static_cast<std::size_t>(t->id),
+             ClockAt(t->clock, static_cast<std::size_t>(t->id)) + 1);
+  }
+
+  bool Enabled(const ThreadState& t) const {
+    return t.status == Status::kRunnable || t.status == Status::kBlockedCvTimed;
+  }
+
+  bool Asleep(int tid, const std::vector<std::pair<int, OpDesc>>& set) const {
+    for (const auto& entry : set) {
+      if (entry.first == tid) return true;
+    }
+    return false;
+  }
+
+  // The chosen thread is about to perform its pending op: filter the
+  // running sleep set, account preemptions, hand over the baton.
+  void Grant(int tid) {
+    ThreadState* t = threads[static_cast<std::size_t>(tid)].get();
+    if (!sleep_cur.empty()) {
+      std::vector<std::pair<int, OpDesc>> kept;
+      kept.reserve(sleep_cur.size());
+      for (const auto& entry : sleep_cur) {
+        if (entry.first == tid) continue;
+        if (Dependent(entry.second, entry.first, t->pending, tid)) continue;
+        kept.push_back(entry);
+      }
+      sleep_cur = std::move(kept);
+    }
+    if (prev_running != tid && prev_running >= 0 &&
+        prev_running < static_cast<int>(threads.size()) &&
+        threads[static_cast<std::size_t>(prev_running)]->status ==
+            Status::kRunnable) {
+      ++preempt_cur;
+    }
+    prev_running = tid;
+    if (t->status == Status::kBlockedCvTimed) {
+      // Scheduling a timed waiter = its timeout fires.
+      t->status = Status::kRunnable;
+      t->cv_timed_out = true;
+      auto it = cvs.find(t->wait_addr);
+      if (it != cvs.end()) {
+        auto& waiters = it->second.waiters;
+        waiters.erase(std::remove(waiters.begin(), waiters.end(), tid),
+                      waiters.end());
+      }
+    }
+    current = tid;
+    t->park.notify_all();
+  }
+
+  // Picks the next thread to run among the enabled ones, recording /
+  // consuming a DFS node when there is a real choice. Returns the chosen
+  // tid, or -1 when every thread is finished.
+  int ScheduleChoice() {
+    std::vector<int> enabled;
+    bool any_unfinished = false;
+    for (const auto& t : threads) {
+      if (t->status != Status::kFinished) any_unfinished = true;
+      if (Enabled(*t)) enabled.push_back(t->id);
+    }
+    if (enabled.empty()) {
+      if (!any_unfinished) return -1;
+      Violation("deadlock: no runnable thread");
+    }
+
+    // Preemption bound: switching away from a still-runnable previous
+    // thread costs one; forced switches (it blocked/finished) are free.
+    std::vector<int> alts;
+    const bool prev_enabled =
+        std::find(enabled.begin(), enabled.end(), prev_running) !=
+        enabled.end();
+    for (int tid : enabled) {
+      if (opts.preemption_bound >= 0 && prev_enabled && tid != prev_running &&
+          preempt_cur + 1 > opts.preemption_bound) {
+        continue;
+      }
+      alts.push_back(tid);
+    }
+    // prev_running survives the filter whenever it is enabled, so alts
+    // can only be empty if enabled was (handled above).
+
+    int chosen_tid;
+    if (!replay_mode && depth < stack.size() && alts.size() > 1) {
+      // Re-running the prefix of the previous execution. Nodes exist
+      // only for real choices (>= 2 alternatives), so a single-alt point
+      // inside the prefix must NOT consume one -- the determinism of the
+      // prefix guarantees the same points are single-alt every re-run.
+      Node& node = stack[depth];
+      chosen_tid = node.alts[node.chosen];
+      if (node.value_choice ||
+          std::find(alts.begin(), alts.end(), chosen_tid) == alts.end()) {
+        Violation("internal: nondeterministic scenario (thread prefix)");
+      }
+      sleep_cur = node.sleep;
+      preempt_cur = node.preempt_used;
+      ++depth;
+      exec_choices.emplace_back('t', chosen_tid);
+    } else if (replay_mode && alts.size() > 1) {
+      if (replay_pos < replay.size()) {
+        if (replay[replay_pos].first != 't') {
+          Violation("replay token mismatch: expected a thread choice");
+        }
+        chosen_tid = replay[replay_pos].second;
+        ++replay_pos;
+        if (std::find(alts.begin(), alts.end(), chosen_tid) == alts.end()) {
+          Violation("replay token names a thread that is not enabled");
+        }
+      } else {
+        chosen_tid = prev_enabled ? prev_running : alts.front();
+      }
+      exec_choices.emplace_back('t', chosen_tid);
+    } else if (alts.size() == 1) {
+      chosen_tid = alts.front();  // no choice, no node
+    } else {
+      // Fresh node. Threads already asleep here are covered by a
+      // sibling; if every alternative sleeps, this whole subtree is
+      // redundant and the execution is pruned.
+      Node node;
+      node.alts = alts;
+      for (int tid : alts) {
+        node.alt_ops.push_back(threads[static_cast<std::size_t>(tid)]->pending);
+      }
+      node.explored.assign(alts.size(), false);
+      node.sleep = sleep_cur;
+      node.running_before = prev_running;
+      node.preempt_used = preempt_cur;
+      int pick = -1;
+      if (prev_enabled && !Asleep(prev_running, node.sleep)) {
+        pick = prev_running;  // continuity first: fewer switches early
+      } else {
+        for (int tid : alts) {
+          if (!Asleep(tid, node.sleep)) {
+            pick = tid;
+            break;
+          }
+        }
+      }
+      if (pick < 0) {
+        redundant_exec = true;
+        Abort();
+      }
+      node.chosen = static_cast<std::size_t>(
+          std::find(node.alts.begin(), node.alts.end(), pick) -
+          node.alts.begin());
+      chosen_tid = pick;
+      stack.push_back(std::move(node));
+      ++depth;
+      exec_choices.emplace_back('t', chosen_tid);
+    }
+    Grant(chosen_tid);
+    return chosen_tid;
+  }
+
+  // A load with several admissible stores: DFS over which one it reads.
+  // `alts` holds store indices, ascending; newest explored first.
+  std::size_t ValueChoice(const std::vector<int>& alts) {
+    int chosen;
+    if (!replay_mode && depth < stack.size()) {
+      Node& node = stack[depth];
+      chosen = node.alts[node.chosen];
+      if (!node.value_choice ||
+          std::find(alts.begin(), alts.end(), chosen) == alts.end()) {
+        Violation("internal: nondeterministic scenario (value prefix)");
+      }
+      ++depth;
+    } else if (replay_mode) {
+      if (replay_pos < replay.size()) {
+        if (replay[replay_pos].first != 'v') {
+          Violation("replay token mismatch: expected a value choice");
+        }
+        chosen = replay[replay_pos].second;
+        ++replay_pos;
+        if (std::find(alts.begin(), alts.end(), chosen) == alts.end()) {
+          Violation("replay token names an inadmissible store");
+        }
+      } else {
+        chosen = alts.back();
+      }
+    } else {
+      Node node;
+      node.value_choice = true;
+      node.alts = alts;
+      node.explored.assign(alts.size(), false);
+      node.chosen = alts.size() - 1;  // the latest store first
+      chosen = node.alts[node.chosen];
+      stack.push_back(std::move(node));
+      ++depth;
+    }
+    exec_choices.emplace_back('v', chosen);
+    return static_cast<std::size_t>(chosen);
+  }
+
+  void ParkUntilGranted(std::unique_lock<std::mutex>& lock, ThreadState* me) {
+    while (current != me->id && !aborting) me->park.wait(lock);
+    if (aborting) throw ExecutionAbort{};
+  }
+
+  // Declares `op` as the calling thread's next transition and lets the
+  // scheduler decide who runs. Returns with the baton held.
+  void SchedulePoint(std::unique_lock<std::mutex>& lock, const OpDesc& op) {
+    // A thread that was blocked on `mu` while another thread aborted
+    // must not run ScheduleChoice: it would push garbage nodes onto the
+    // DFS stack mid-collapse. Bail out to the hook's abort fallback.
+    if (aborting) throw ExecutionAbort{};
+    ThreadState* me = t_self;
+    ++steps;
+    if (opts.max_steps != 0 && steps > opts.max_steps) {
+      truncated_exec = true;
+      Abort();
+    }
+    me->pending = op;
+    const int next = ScheduleChoice();
+    if (next != me->id) ParkUntilGranted(lock, me);
+  }
+
+  // Blocks the calling thread (status already set) until granted again.
+  void YieldBlocked(std::unique_lock<std::mutex>& lock, ThreadState* me) {
+    ScheduleChoice();
+    ParkUntilGranted(lock, me);
+  }
+
+  AtomicLoc& AtomicAt(const void* addr, uint64_t fallback) {
+    auto [it, inserted] = atomics.try_emplace(addr);
+    AtomicLoc& loc = it->second;
+    if (inserted) {
+      StoreMsg seed;
+      seed.value = fallback;  // pre-execution value: visible to everyone
+      loc.stores.push_back(std::move(seed));
+    }
+    if (loc.last_read.size() < threads.size()) {
+      loc.last_read.resize(threads.size(), -1);
+    }
+    return loc;
+  }
+
+  // The newest store the reader is *forced* to see: anything older is
+  // hidden by coherence (an hb-ordered later store, an earlier read of a
+  // newer store, or the reader's own store).
+  std::size_t VisibilityFloor(const AtomicLoc& loc, const ThreadState& me) {
+    std::size_t floor = 0;
+    for (std::size_t i = loc.stores.size(); i-- > 0;) {
+      const StoreMsg& s = loc.stores[i];
+      if (s.writer_tid < 0 ||
+          ClockAt(s.writer, static_cast<std::size_t>(s.writer_tid)) <=
+              ClockAt(me.clock, static_cast<std::size_t>(s.writer_tid))) {
+        floor = i;
+        break;
+      }
+    }
+    const int64_t prior = loc.last_read[static_cast<std::size_t>(me.id)];
+    if (prior > static_cast<int64_t>(floor)) {
+      floor = static_cast<std::size_t>(prior);
+    }
+    return floor;
+  }
+
+  static bool IsAcquire(int order) {
+    const auto mo = static_cast<std::memory_order>(order);
+    return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+           mo == std::memory_order_seq_cst || mo == std::memory_order_consume;
+  }
+
+  static bool IsRelease(int order) {
+    const auto mo = static_cast<std::memory_order>(order);
+    return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+           mo == std::memory_order_seq_cst;
+  }
+
+  static bool IsSeqCst(int order) {
+    return static_cast<std::memory_order>(order) == std::memory_order_seq_cst;
+  }
+
+  MutexLoc& MutexAt(const void* addr) { return mutexes[addr]; }
+  CvLoc& CvAt(const void* addr) { return cvs[addr]; }
+
+  void WakeMutexWaiters(const void* mutex_addr) {
+    for (const auto& t : threads) {
+      if (t->status == Status::kBlockedMutex && t->wait_addr == mutex_addr) {
+        t->status = Status::kRunnable;
+      }
+    }
+  }
+
+  void AcquireMutexBlocking(std::unique_lock<std::mutex>& lock,
+                            ThreadState* me, const void* mutex_addr) {
+    MutexLoc& m = MutexAt(mutex_addr);
+    while (m.held_by != -1) {
+      if (m.held_by == me->id) {
+        Violation("recursive lock of a non-recursive mutex");
+      }
+      me->status = Status::kBlockedMutex;
+      me->wait_addr = mutex_addr;
+      me->pending = OpDesc{OpKind::kLock, mutex_addr, true, -1};
+      YieldBlocked(lock, me);
+    }
+    m.held_by = me->id;
+    Tick(me);
+    ClockJoin(me->clock, m.clock);
+  }
+
+  // ----- abort-mode free-run -----------------------------------------
+  // After Abort(), model bookkeeping stops but every thread must still
+  // FINISH its body normally: an ExecutionAbort may not cross scenario
+  // frames, because a violation can strike while some thread sits
+  // inside a noexcept destructor (~ThreadPool runs model ops), where an
+  // escaping exception terminates the process. Hooks absorb the abort
+  // and fall back to these minimal primitives, which keep real mutual
+  // exclusion alive through the model's held_by word so free-running
+  // critical sections stay atomic. The wait is bounded: an aborted
+  // deadlock schedule has threads blocked on each other by
+  // construction, so after the grace period the lock is stolen --
+  // acceptable, because all checks are inert once `aborting` is set and
+  // the execution's verdict is already recorded.
+  void AbortModeLock(std::unique_lock<std::mutex>& lock, ThreadState* me,
+                     const void* mutex_addr) {
+    MutexLoc& m = MutexAt(mutex_addr);
+    while (m.held_by != -1 && m.held_by != me->id) {
+      if (done_cv.wait_for(lock, std::chrono::milliseconds(50)) ==
+          std::cv_status::timeout) {
+        break;  // steal: the holder is deadlocked against us
+      }
+    }
+    m.held_by = me->id;
+  }
+
+  void AbortModeUnlock(ThreadState* me, const void* mutex_addr) {
+    MutexLoc& m = MutexAt(mutex_addr);
+    if (m.held_by == me->id) m.held_by = -1;
+    done_cv.notify_all();
+  }
+
+  // Abort-mode condvar wait: hand the mutex back, give a free-running
+  // notifier a brief window, reacquire, and report "timeout" so the
+  // caller's predicate loop re-checks state that other threads are
+  // advancing for real.
+  void AbortModeWait(std::unique_lock<std::mutex>& lock, ThreadState* me,
+                     const void* mutex_addr) {
+    AbortModeUnlock(me, mutex_addr);
+    done_cv.wait_for(lock, std::chrono::milliseconds(1));
+    AbortModeLock(lock, me, mutex_addr);
+  }
+
+  // ----- execution driver --------------------------------------------
+
+  void ResetExecution() {
+    threads.clear();
+    auto root = std::make_unique<ThreadState>();
+    root->id = 0;
+    root->started = true;
+    threads.push_back(std::move(root));
+    current = 0;
+    prev_running = 0;
+    aborting = false;
+    truncated_exec = false;
+    redundant_exec = false;
+    steps = 0;
+    depth = 0;
+    replay_pos = 0;
+    sleep_cur.clear();
+    preempt_cur = 0;
+    exec_choices.clear();
+    next_plain_id = 0;
+    atomics.clear();
+    plains.clear();
+    mutexes.clear();
+    cvs.clear();
+  }
+
+  void RunOnce(const std::function<void()>& body) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ResetExecution();
+      t_self = threads[0].get();
+    }
+    try {
+      body();
+    } catch (ExecutionAbort&) {
+      // The unwinding scenario joined its threads via the mc::thread
+      // destructors; wake any survivor so its real thread can exit.
+      std::unique_lock<std::mutex> lock(mu);
+      for (const auto& t : threads) {
+        if (t->id == 0 || !t->started) continue;
+        while (t->status != Status::kFinished) {
+          current = t->id;
+          t->park.notify_all();
+          done_cv.wait(lock);
+        }
+      }
+    }
+    t_self = nullptr;
+  }
+
+  // Advances the deepest node with an unexplored, awake alternative.
+  // Returns false when the whole tree is exhausted.
+  bool Backtrack() {
+    while (!stack.empty()) {
+      Node& node = stack.back();
+      node.explored[node.chosen] = true;
+      if (!node.value_choice) {
+        node.sleep.emplace_back(node.alts[node.chosen],
+                                node.alt_ops[node.chosen]);
+      }
+      bool advanced = false;
+      if (node.value_choice) {
+        for (std::size_t pos = node.alts.size(); pos-- > 0;) {
+          if (!node.explored[pos]) {
+            node.chosen = pos;
+            advanced = true;
+            break;
+          }
+        }
+      } else {
+        for (std::size_t pos = 0; pos < node.alts.size(); ++pos) {
+          if (node.explored[pos]) continue;
+          if (Asleep(node.alts[pos], node.sleep)) continue;
+          node.chosen = pos;
+          advanced = true;
+          break;
+        }
+      }
+      if (advanced) return true;
+      stack.pop_back();
+    }
+    return false;
+  }
+};
+
+bool ParseToken(const std::string& token,
+                std::vector<std::pair<char, int>>* out) {
+  const std::string prefix = "MCSCHED1:";
+  if (token.compare(0, prefix.size(), prefix) != 0) return false;
+  std::size_t pos = prefix.size();
+  while (pos < token.size()) {
+    const char kind = token[pos];
+    if (kind != 't' && kind != 'v') return false;
+    ++pos;
+    std::size_t digits = 0;
+    int value = 0;
+    while (pos < token.size() && token[pos] >= '0' && token[pos] <= '9') {
+      value = value * 10 + (token[pos] - '0');
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    out->emplace_back(kind, value);
+    if (pos < token.size()) {
+      if (token[pos] != '.') return false;
+      ++pos;
+      if (pos == token.size()) return false;  // trailing dot
+    }
+  }
+  return true;
+}
+
+// True when hooks should run the model path for the calling thread.
+bool Active() {
+  return g_sched != nullptr && t_self != nullptr && !g_sched->aborting;
+}
+
+}  // namespace
+
+bool InModelledExecution() { return g_sched != nullptr && t_self != nullptr; }
+
+void Check(bool ok, const char* message) {
+  if (ok) return;
+  if (g_sched != nullptr && t_self != nullptr) {
+    if (g_sched->aborting) return;  // already collapsing; verdict recorded
+    std::unique_lock<std::mutex> lock(g_sched->mu);
+    try {
+      g_sched->Violation(std::string("assertion failed: ") + message);
+    } catch (ExecutionAbort&) {
+      // Absorbed: the thread free-runs the rest of its body with every
+      // hook inert; Explore() reports the violation once it returns.
+    }
+    return;
+  }
+  std::fprintf(stderr, "model::Check failed outside exploration: %s\n",
+               message);
+  std::abort();
+}
+
+Result Explore(const Options& options, const std::function<void()>& body) {
+  if (g_sched != nullptr) {
+    std::fprintf(stderr, "model::Explore is not reentrant\n");
+    std::abort();
+  }
+  Scheduler sched;
+  sched.opts = options;
+  if (!options.replay_token.empty()) {
+    sched.replay_mode = true;
+    if (!ParseToken(options.replay_token, &sched.replay)) {
+      Result bad;
+      bad.violation = true;
+      bad.message = "malformed replay token: " + options.replay_token;
+      return bad;
+    }
+  }
+  g_sched = &sched;
+  Result result;
+  for (;;) {
+    ++result.executions;
+    sched.RunOnce(body);
+    if (sched.truncated_exec) ++result.truncated;
+    if (sched.violation) {
+      result.violation = true;
+      result.message = sched.vio_message;
+      result.token = sched.vio_token;
+      break;
+    }
+    if (sched.replay_mode) break;  // a replay is a single execution
+    if (!sched.Backtrack()) {
+      result.complete = true;
+      break;
+    }
+    if (options.max_executions != 0 &&
+        result.executions >= options.max_executions) {
+      break;
+    }
+  }
+  g_sched = nullptr;
+  return result;
+}
+
+namespace hooks {
+
+// Hook bodies run under a try/catch that absorbs ExecutionAbort: once a
+// violation (or truncation) collapses the execution, every thread --
+// root included -- must return from the hook benignly and free-run the
+// rest of its body, because the abort may surface while the caller sits
+// inside a noexcept destructor where an escaping exception would
+// std::terminate. Subsequent hook calls are inert (Active() is false
+// while aborting); mutex hooks drop to the AbortMode* primitives so
+// critical sections keep real exclusion during the free-run.
+
+uint64_t AtomicLoad(const void* addr, int order, uint64_t fallback) {
+  if (!Active()) return fallback;
+  Scheduler& s = *g_sched;
+  try {
+    std::unique_lock<std::mutex> lock(s.mu);
+    ThreadState* me = t_self;
+    s.SchedulePoint(lock, OpDesc{OpKind::kLoad, addr, false, -1});
+    AtomicLoc& loc = s.AtomicAt(addr, fallback);
+    s.Tick(me);
+    const std::size_t last = loc.stores.size() - 1;
+    std::size_t chosen = last;
+    if (!Scheduler::IsSeqCst(order)) {
+      const std::size_t floor = s.VisibilityFloor(loc, *me);
+      if (floor < last) {
+        std::vector<int> alts;
+        for (std::size_t i = floor; i <= last; ++i) {
+          alts.push_back(static_cast<int>(i));
+        }
+        chosen = s.ValueChoice(alts);
+      } else {
+        chosen = floor;
+      }
+    }
+    const StoreMsg& store = loc.stores[chosen];
+    loc.last_read[static_cast<std::size_t>(me->id)] =
+        static_cast<int64_t>(chosen);
+    if (Scheduler::IsAcquire(order)) {
+      ClockJoin(me->clock, store.msg);
+    } else {
+      ClockJoin(me->acq_pending, store.msg);
+    }
+    return store.value;
+  } catch (ExecutionAbort&) {
+    return fallback;
+  }
+}
+
+void AtomicStore(void* addr, int order, uint64_t value, uint64_t fallback) {
+  if (!Active()) return;
+  Scheduler& s = *g_sched;
+  try {
+    std::unique_lock<std::mutex> lock(s.mu);
+    ThreadState* me = t_self;
+    s.SchedulePoint(lock, OpDesc{OpKind::kStore, addr, true, -1});
+    AtomicLoc& loc = s.AtomicAt(addr, fallback);
+    s.Tick(me);
+    StoreMsg store;
+    store.value = value;
+    store.writer = me->clock;
+    store.msg = Scheduler::IsRelease(order) ? me->clock : me->fence_rel;
+    store.writer_tid = me->id;
+    loc.stores.push_back(std::move(store));
+    loc.last_read[static_cast<std::size_t>(me->id)] =
+        static_cast<int64_t>(loc.stores.size() - 1);
+  } catch (ExecutionAbort&) {
+    // Absorbed; the seam still writes the real atomic after we return.
+  }
+}
+
+uint64_t AtomicRmw(void* addr, int order, uint64_t fallback,
+                   const std::function<uint64_t(uint64_t)>& op) {
+  if (!Active()) return fallback;
+  Scheduler& s = *g_sched;
+  try {
+    std::unique_lock<std::mutex> lock(s.mu);
+    ThreadState* me = t_self;
+    s.SchedulePoint(lock, OpDesc{OpKind::kRmw, addr, true, -1});
+    AtomicLoc& loc = s.AtomicAt(addr, fallback);
+    s.Tick(me);
+    const StoreMsg& latest = loc.stores.back();  // RMW reads the newest
+    const uint64_t old_value = latest.value;
+    if (Scheduler::IsAcquire(order)) {
+      ClockJoin(me->clock, latest.msg);
+    } else {
+      ClockJoin(me->acq_pending, latest.msg);
+    }
+    StoreMsg store;
+    store.value = op(old_value);
+    store.writer = me->clock;
+    // An RMW continues the release sequence of the store it reads: its
+    // message carries the read store's message even when relaxed.
+    store.msg = latest.msg;
+    ClockJoin(store.msg,
+              Scheduler::IsRelease(order) ? me->clock : me->fence_rel);
+    store.writer_tid = me->id;
+    loc.stores.push_back(std::move(store));
+    loc.last_read[static_cast<std::size_t>(me->id)] =
+        static_cast<int64_t>(loc.stores.size() - 1);
+    return old_value;
+  } catch (ExecutionAbort&) {
+    return fallback;
+  }
+}
+
+bool AtomicCas(void* addr, int success_order, int failure_order,
+               uint64_t expected, uint64_t desired, uint64_t fallback,
+               uint64_t* observed) {
+  if (!Active()) {
+    *observed = fallback;
+    return false;
+  }
+  Scheduler& s = *g_sched;
+  try {
+    std::unique_lock<std::mutex> lock(s.mu);
+    ThreadState* me = t_self;
+    s.SchedulePoint(lock, OpDesc{OpKind::kRmw, addr, true, -1});
+    AtomicLoc& loc = s.AtomicAt(addr, fallback);
+    s.Tick(me);
+    const StoreMsg& latest = loc.stores.back();
+    *observed = latest.value;
+    if (latest.value != expected) {
+      // Failed CAS = a load of the latest store with the failure order.
+      if (Scheduler::IsAcquire(failure_order)) {
+        ClockJoin(me->clock, latest.msg);
+      } else {
+        ClockJoin(me->acq_pending, latest.msg);
+      }
+      loc.last_read[static_cast<std::size_t>(me->id)] =
+          static_cast<int64_t>(loc.stores.size() - 1);
+      return false;
+    }
+    if (Scheduler::IsAcquire(success_order)) {
+      ClockJoin(me->clock, latest.msg);
+    } else {
+      ClockJoin(me->acq_pending, latest.msg);
+    }
+    StoreMsg store;
+    store.value = desired;
+    store.writer = me->clock;
+    store.msg = latest.msg;
+    ClockJoin(store.msg,
+              Scheduler::IsRelease(success_order) ? me->clock : me->fence_rel);
+    store.writer_tid = me->id;
+    loc.stores.push_back(std::move(store));
+    loc.last_read[static_cast<std::size_t>(me->id)] =
+        static_cast<int64_t>(loc.stores.size() - 1);
+    return true;
+  } catch (ExecutionAbort&) {
+    *observed = fallback;
+    return false;
+  }
+}
+
+void Fence(int order) {
+  if (!Active()) return;
+  Scheduler& s = *g_sched;
+  try {
+    std::unique_lock<std::mutex> lock(s.mu);
+    ThreadState* me = t_self;
+    s.SchedulePoint(lock, OpDesc{OpKind::kFence, nullptr, true, -1});
+    s.Tick(me);
+    if (Scheduler::IsAcquire(order)) {
+      // Every relaxed load since the last acquire fence retroactively
+      // synchronizes: pending acquisitions land in the main clock.
+      ClockJoin(me->clock, me->acq_pending);
+    }
+    if (Scheduler::IsRelease(order)) {
+      me->fence_rel = me->clock;
+    }
+  } catch (ExecutionAbort&) {
+  }
+}
+
+void ObjectDestroyed(const void* addr) {
+  if (!Active()) return;
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  s.atomics.erase(addr);
+  s.plains.erase(addr);
+  s.mutexes.erase(addr);
+  s.cvs.erase(addr);
+}
+
+// Unlike the atomic hooks, the mutex hooks stay LIVE while aborting:
+// free-running threads still need real mutual exclusion (a critical
+// section interrupted by the abort must stay exclusive until its owner
+// unlocks), so they drop to the AbortMode* primitives instead of going
+// inert.
+
+void MutexLock(void* mutex) {
+  if (g_sched == nullptr || t_self == nullptr) return;
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* me = t_self;
+  if (s.aborting) {
+    s.AbortModeLock(lock, me, mutex);
+    return;
+  }
+  try {
+    s.SchedulePoint(lock, OpDesc{OpKind::kLock, mutex, true, -1});
+    s.AcquireMutexBlocking(lock, me, mutex);
+  } catch (ExecutionAbort&) {
+    s.AbortModeLock(lock, me, mutex);
+  }
+}
+
+bool MutexTryLock(void* mutex) {
+  if (g_sched == nullptr || t_self == nullptr) return true;
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* me = t_self;
+  if (s.aborting) {
+    MutexLoc& m = s.MutexAt(mutex);
+    if (m.held_by != -1 && m.held_by != me->id) return false;
+    m.held_by = me->id;
+    return true;
+  }
+  try {
+    s.SchedulePoint(lock, OpDesc{OpKind::kLock, mutex, true, -1});
+    MutexLoc& m = s.MutexAt(mutex);
+    if (m.held_by != -1) {
+      s.Tick(me);
+      return false;
+    }
+    m.held_by = me->id;
+    s.Tick(me);
+    ClockJoin(me->clock, m.clock);
+    return true;
+  } catch (ExecutionAbort&) {
+    MutexLoc& m = s.MutexAt(mutex);
+    if (m.held_by != -1 && m.held_by != me->id) return false;
+    m.held_by = me->id;
+    return true;
+  }
+}
+
+void MutexUnlock(void* mutex) {
+  if (g_sched == nullptr || t_self == nullptr) return;
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* me = t_self;
+  if (s.aborting) {
+    s.AbortModeUnlock(me, mutex);
+    return;
+  }
+  try {
+    s.SchedulePoint(lock, OpDesc{OpKind::kUnlock, mutex, true, -1});
+    MutexLoc& m = s.MutexAt(mutex);
+    if (m.held_by != me->id) {
+      s.Violation("unlock of a mutex the thread does not hold");
+    }
+    s.Tick(me);
+    m.clock = me->clock;
+    m.held_by = -1;
+    s.WakeMutexWaiters(mutex);
+  } catch (ExecutionAbort&) {
+    s.AbortModeUnlock(me, mutex);
+  }
+}
+
+namespace {
+
+// Shared tail of CondWait / CondWaitFor: release the mutex, park on the
+// condvar, reacquire after wakeup. Returns false when the wait timed out
+// (timed waits only).
+bool CondWaitImpl(void* cv, void* mutex, bool timed) {
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* me = t_self;
+  s.SchedulePoint(lock, OpDesc{OpKind::kCvWait, cv, true, -1});
+  MutexLoc& m = s.MutexAt(mutex);
+  if (m.held_by != me->id) {
+    s.Violation("condvar wait without holding the mutex");
+  }
+  s.Tick(me);
+  m.clock = me->clock;
+  m.held_by = -1;
+  s.WakeMutexWaiters(mutex);
+  s.CvAt(cv).waiters.push_back(me->id);
+  me->status = timed ? Status::kBlockedCvTimed : Status::kBlockedCv;
+  me->wait_addr = cv;
+  me->wait_mutex = mutex;
+  me->cv_timed_out = false;
+  me->pending = timed ? OpDesc{OpKind::kCvTimeout, cv, true, -1}
+                      : OpDesc{OpKind::kCvWait, cv, true, -1};
+  s.YieldBlocked(lock, me);
+  // Granted again: either a notify made us runnable or (timed waits)
+  // the scheduler fired the timeout. No spurious wakeups in the model.
+  const bool notified = !me->cv_timed_out;
+  s.AcquireMutexBlocking(lock, me, mutex);
+  return notified;
+}
+
+void NotifyImpl(void* cv, bool all) {
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* me = t_self;
+  s.SchedulePoint(lock, OpDesc{OpKind::kCvNotify, cv, true, -1});
+  s.Tick(me);
+  CvLoc& c = s.CvAt(cv);
+  // FIFO wake order (modeled determinism; real condvars may differ, but
+  // waiters always recheck predicates under the mutex).
+  while (!c.waiters.empty()) {
+    const int tid = c.waiters.front();
+    c.waiters.erase(c.waiters.begin());
+    ThreadState* waiter = s.threads[static_cast<std::size_t>(tid)].get();
+    waiter->status = Status::kRunnable;
+    waiter->pending = OpDesc{OpKind::kLock, waiter->wait_mutex, true, -1};
+    if (!all) break;
+  }
+}
+
+}  // namespace
+
+// Shared abort fallback: drop out of the waiter list (a notify must not
+// target a thread that is no longer parked) and reacquire the mutex in
+// abort mode -- condvar waits return to their caller holding the lock.
+void CondWaitAbortFallback(Scheduler& s, ThreadState* me, void* cv,
+                           void* mutex) {
+  std::unique_lock<std::mutex> lock(s.mu);
+  CvLoc& c = s.CvAt(cv);
+  c.waiters.erase(std::remove(c.waiters.begin(), c.waiters.end(), me->id),
+                  c.waiters.end());
+  s.AbortModeLock(lock, me, mutex);
+}
+
+void CondWait(void* cv, void* mutex) {
+  if (g_sched == nullptr || t_self == nullptr) return;
+  Scheduler& s = *g_sched;
+  ThreadState* me = t_self;
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (s.aborting) {
+      s.AbortModeWait(lock, me, mutex);
+      return;
+    }
+  }
+  try {
+    CondWaitImpl(cv, mutex, /*timed=*/false);
+  } catch (ExecutionAbort&) {
+    CondWaitAbortFallback(s, me, cv, mutex);
+  }
+}
+
+bool CondWaitFor(void* cv, void* mutex) {
+  if (g_sched == nullptr || t_self == nullptr) return false;
+  Scheduler& s = *g_sched;
+  ThreadState* me = t_self;
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (s.aborting) {
+      s.AbortModeWait(lock, me, mutex);
+      return false;
+    }
+  }
+  try {
+    return CondWaitImpl(cv, mutex, /*timed=*/true);
+  } catch (ExecutionAbort&) {
+    CondWaitAbortFallback(s, me, cv, mutex);
+    return false;
+  }
+}
+
+void CondNotifyOne(void* cv) {
+  if (!Active()) return;
+  try {
+    NotifyImpl(cv, /*all=*/false);
+  } catch (ExecutionAbort&) {
+  }
+}
+
+void CondNotifyAll(void* cv) {
+  if (!Active()) return;
+  try {
+    NotifyImpl(cv, /*all=*/true);
+  } catch (ExecutionAbort&) {
+  }
+}
+
+void PlainRead(const void* addr) {
+  if (!Active()) return;
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* me = t_self;
+  try {
+    s.SchedulePoint(lock, OpDesc{OpKind::kPlainRead, addr, false, -1});
+    s.Tick(me);
+    PlainLoc& loc = s.plains[addr];
+    if (loc.id == -1) loc.id = s.next_plain_id++;
+    for (const auto& t : s.threads) {
+      if (t->id == me->id) continue;
+      if (ClockAt(loc.writes, static_cast<std::size_t>(t->id)) >
+          ClockAt(me->clock, static_cast<std::size_t>(t->id))) {
+        std::ostringstream out;
+        out << "data race: T" << me->id << " plain read of cell#" << loc.id
+            << " is concurrent with T" << t->id << "'s write";
+        s.Violation(out.str());
+      }
+    }
+    ClockSet(loc.reads, static_cast<std::size_t>(me->id),
+             ClockAt(me->clock, static_cast<std::size_t>(me->id)));
+  } catch (ExecutionAbort&) {
+    // Absorbed; the seam reads the real cell after we return.
+  }
+}
+
+void PlainWrite(const void* addr) {
+  if (!Active()) return;
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* me = t_self;
+  try {
+    s.SchedulePoint(lock, OpDesc{OpKind::kPlainWrite, addr, true, -1});
+    s.Tick(me);
+    PlainLoc& loc = s.plains[addr];
+    if (loc.id == -1) loc.id = s.next_plain_id++;
+    for (const auto& t : s.threads) {
+      if (t->id == me->id) continue;
+      const auto uid = static_cast<std::size_t>(t->id);
+      if (ClockAt(loc.writes, uid) > ClockAt(me->clock, uid) ||
+          ClockAt(loc.reads, uid) > ClockAt(me->clock, uid)) {
+        std::ostringstream out;
+        out << "data race: T" << me->id << " plain write of cell#" << loc.id
+            << " is concurrent with T" << t->id << "'s access";
+        s.Violation(out.str());
+      }
+    }
+    ClockSet(loc.writes, static_cast<std::size_t>(me->id),
+             ClockAt(me->clock, static_cast<std::size_t>(me->id)));
+  } catch (ExecutionAbort&) {
+    // Absorbed; the seam writes the real cell after we return.
+  }
+}
+
+int ThreadSpawn() {
+  if (g_sched == nullptr || t_self == nullptr) return -1;
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* me = t_self;
+  // Even during an abort the child must get a model tid: ThreadBody for
+  // a "stillborn" tid parks, observes aborting, and finishes without
+  // ever running the closure. Handing back -1 here would mix an
+  // unmodelled real thread into the tail of a modelled run.
+  if (!s.aborting) {
+    try {
+      s.SchedulePoint(lock, OpDesc{OpKind::kSpawn, nullptr, false, -1});
+      s.Tick(me);
+    } catch (ExecutionAbort&) {
+      // Fall through to register the stillborn child.
+    }
+  }
+  auto child = std::make_unique<ThreadState>();
+  child->id = static_cast<int>(s.threads.size());
+  child->clock = me->clock;  // spawn happens-before the child's first op
+  ClockSet(child->clock, static_cast<std::size_t>(child->id), 1);
+  child->pending = OpDesc{OpKind::kStart, nullptr, false, -1};
+  const int tid = child->id;
+  s.threads.push_back(std::move(child));
+  return tid;
+}
+
+void ThreadBody(int tid, const std::function<void()>& fn) {
+  Scheduler& s = *g_sched;
+  ThreadState* me = s.threads[static_cast<std::size_t>(tid)].get();
+  t_self = me;
+  try {
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      me->started = true;
+      s.ParkUntilGranted(lock, me);  // do not run until first scheduled
+    }
+    fn();
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      me->status = Status::kFinished;
+      if (!s.aborting) {
+        s.Tick(me);
+        for (const auto& t : s.threads) {
+          if (t->status == Status::kBlockedJoin && t->join_target == me->id) {
+            t->status = Status::kRunnable;
+          }
+        }
+        s.ScheduleChoice();  // hand the baton on (or flag a deadlock)
+      }
+      s.done_cv.notify_all();
+    }
+  } catch (ExecutionAbort&) {
+    std::unique_lock<std::mutex> lock(s.mu);
+    me->status = Status::kFinished;
+    s.done_cv.notify_all();
+  }
+  t_self = nullptr;
+}
+
+void ThreadJoin(int tid) {
+  if (g_sched == nullptr || t_self == nullptr) return;
+  Scheduler& s = *g_sched;
+  std::unique_lock<std::mutex> lock(s.mu);
+  ThreadState* target = s.threads[static_cast<std::size_t>(tid)].get();
+  if (s.aborting) {
+    // Release the target so its real thread can unwind and be joined.
+    while (target->status != Status::kFinished) {
+      s.current = tid;
+      target->park.notify_all();
+      s.done_cv.wait(lock);
+    }
+    return;
+  }
+  ThreadState* me = t_self;
+  try {
+    s.SchedulePoint(lock, OpDesc{OpKind::kJoin, nullptr, false, tid});
+    while (target->status != Status::kFinished) {
+      me->status = Status::kBlockedJoin;
+      me->join_target = tid;
+      me->pending = OpDesc{OpKind::kJoin, nullptr, false, tid};
+      s.YieldBlocked(lock, me);
+    }
+    me->join_target = -1;
+    s.Tick(me);
+    ClockJoin(me->clock, target->clock);  // everything the child did is hb
+  } catch (ExecutionAbort&) {
+    // Abort struck while we were joining: drive the target to completion
+    // ourselves (same loop as the fresh abort path above) so the real
+    // std::thread::join right after us cannot hang.
+    me->join_target = -1;
+    while (target->status != Status::kFinished) {
+      s.current = tid;
+      target->park.notify_all();
+      s.done_cv.wait(lock);
+    }
+  }
+}
+
+}  // namespace hooks
+}  // namespace model
+}  // namespace monoclass

@@ -1,0 +1,143 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// mc_model: a loom/relacy-style systematic concurrency model checker for
+// the repo's lock-free substrate. `model::Explore` runs a scenario body
+// repeatedly, serializing every visible operation (atomic load/store/RMW,
+// fence, mutex, condvar, plain-cell access) through a virtual scheduler
+// that explores the tree of scheduling decisions by depth-first search.
+//
+// What it explores:
+//   * thread choice points -- before every visible operation the
+//     scheduler may switch to any enabled thread (DPOR-lite sleep sets
+//     prune commuting independent operations; an optional preemption
+//     bound caps context switches away from a runnable thread);
+//   * value choice points -- a relaxed or acquire atomic load may return
+//     any store permitted by the C++ memory model's coherence rules,
+//     modeled with a per-location store buffer (modification order +
+//     vector-clock visibility floor), so "the relaxed read saw a stale
+//     value" interleavings are first-class schedules.
+//
+// What it checks:
+//   * scenario assertions (model::Check) on every explored schedule;
+//   * data races on plain (non-atomic) cells, via vector-clock
+//     happens-before with C++11 release/acquire *and fence* semantics;
+//   * deadlock (no enabled thread while unfinished threads remain);
+//   * livelock, approximated by a per-execution step bound.
+//
+// Every violation prints a deterministic replay token
+// (`MCSCHED1:t1.t0.v2...`) naming the exact choice sequence; feeding it
+// back through Options::replay_token re-executes that single schedule,
+// so a CI failure reproduces locally with one flag.
+//
+// The checker is only compiled into MONOCLASS_MODEL=ON builds; the
+// production seam (util/sync_model.h) collapses to bare std:: aliases
+// otherwise. This library deliberately uses raw std primitives -- it IS
+// the model runtime -- and is allowlisted by mc_lint MC006/MC011.
+
+#ifndef MONOCLASS_MODEL_SCHEDULER_H_
+#define MONOCLASS_MODEL_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace monoclass {
+namespace model {
+
+// Exploration knobs. The defaults explore exhaustively (no preemption
+// bound, effectively unbounded execution count) -- CI's bounded mode
+// sets preemption_bound and max_executions explicitly.
+struct Options {
+  // Stop after this many executions even if the DFS frontier is not
+  // exhausted (Result::complete reports which happened). 0 = unlimited.
+  uint64_t max_executions = 0;
+  // Abort any single execution after this many scheduled operations and
+  // count it in Result::truncated (livelock guard).
+  uint64_t max_steps = 20000;
+  // Max context switches away from a still-runnable thread per
+  // execution; negative = unbounded (full DFS).
+  int preemption_bound = -1;
+  // When nonempty, replay exactly this schedule (one execution) instead
+  // of exploring. Format: the token printed on a violation.
+  std::string replay_token;
+};
+
+struct Result {
+  uint64_t executions = 0;  // schedules actually run
+  uint64_t truncated = 0;   // executions cut off by max_steps
+  bool complete = false;    // DFS frontier exhausted (no caps hit)
+  bool violation = false;
+  std::string message;      // first violation, human-readable
+  std::string token;        // replay token of the violating schedule
+};
+
+// Runs `body` (the scenario: spawn threads with mc::thread, touch shared
+// state through the util/sync_model.h seam, assert with model::Check)
+// under the scheduler until the schedule tree is exhausted or a cap or
+// violation stops it. Not reentrant; one exploration at a time per
+// process.
+Result Explore(const Options& options, const std::function<void()>& body);
+
+// Scenario assertion: records a violation (with replay token) and aborts
+// the current execution when `ok` is false. Outside an exploration it
+// falls back to abort-on-failure so scenario code also runs standalone.
+void Check(bool ok, const char* message);
+
+// True while the calling thread is a registered thread of an active
+// exploration. The sync seam uses this to route operations; scenario
+// code can use it to branch on modeled vs. plain execution.
+bool InModelledExecution();
+
+// --- seam hooks -------------------------------------------------------
+// Called by util/sync_model.h wrappers ONLY when InModelledExecution().
+// Orders are std::memory_order values passed as int to keep this header
+// <atomic>-free. Addresses identify locations; values are the raw bit
+// representation (<= 8 bytes).
+namespace hooks {
+
+uint64_t AtomicLoad(const void* addr, int order, uint64_t fallback);
+void AtomicStore(void* addr, int order, uint64_t value, uint64_t fallback);
+// Atomic read-modify-write: applies `op` to the latest value in
+// modification order, returns the old value.
+uint64_t AtomicRmw(void* addr, int order, uint64_t fallback,
+                   const std::function<uint64_t(uint64_t)>& op);
+// Compare-exchange: on match stores `desired` (RMW semantics) and
+// returns true; otherwise writes the observed value to *observed.
+bool AtomicCas(void* addr, int success_order, int failure_order,
+               uint64_t expected, uint64_t desired, uint64_t fallback,
+               uint64_t* observed);
+void Fence(int order);
+// Drops per-execution state for a destroyed atomic/cell/mutex/condvar,
+// so a recycled address does not inherit a dead object's history.
+void ObjectDestroyed(const void* addr);
+
+void MutexLock(void* mutex);
+bool MutexTryLock(void* mutex);
+void MutexUnlock(void* mutex);
+
+void CondWait(void* cv, void* mutex);
+// Timed wait: the scheduler explores both wakeup-by-notify (returns
+// true) and timeout (returns false) as distinct schedules.
+bool CondWaitFor(void* cv, void* mutex);
+void CondNotifyOne(void* cv);
+void CondNotifyAll(void* cv);
+
+// Plain (non-atomic) accesses, race-checked against the happens-before
+// clocks. The value lives in real memory; the model only tracks order.
+void PlainRead(const void* addr);
+void PlainWrite(const void* addr);
+
+// Thread lifecycle for mc::thread. Spawn registers a model thread and
+// returns its id; the spawned real thread calls ThreadBody (which runs
+// `fn` under scheduler control); Join blocks the caller until it
+// finished.
+int ThreadSpawn();
+void ThreadBody(int tid, const std::function<void()>& fn);
+void ThreadJoin(int tid);
+
+}  // namespace hooks
+}  // namespace model
+}  // namespace monoclass
+
+#endif  // MONOCLASS_MODEL_SCHEDULER_H_

@@ -21,7 +21,7 @@ namespace monoclass {
 namespace obs {
 
 namespace internal {
-std::atomic<bool> g_flight_active{false};
+mc::atomic<bool> g_flight_active{false};
 }  // namespace internal
 
 namespace {
@@ -37,15 +37,15 @@ static_assert((kFlightRingSlots & (kFlightRingSlots - 1)) == 0,
 // from a torn one). The ring has a single writer -- its owning thread --
 // so only writer/reader races need the protocol, never writer/writer.
 struct Slot {
-  std::atomic<uint64_t> seq{0};
-  std::atomic<uint64_t> meta{0};  // name_id | type << 32
-  std::atomic<uint64_t> ts_bits{0};
-  std::atomic<uint64_t> value_bits{0};
+  mc::atomic<uint64_t> seq{0};
+  mc::atomic<uint64_t> meta{0};  // name_id | type << 32
+  mc::atomic<uint64_t> ts_bits{0};
+  mc::atomic<uint64_t> value_bits{0};
 };
 
 struct FlightRing {
   uint32_t tid = 0;
-  std::atomic<uint64_t> head{0};  // events ever written to this ring
+  mc::atomic<uint64_t> head{0};  // events ever written to this ring
   Slot slots[kFlightRingSlots];
 };
 
@@ -148,23 +148,32 @@ constexpr uint64_t kMaxEvents = uint64_t{1} << 28;
 }  // namespace
 
 void StartFlightRecording() {
-  internal::g_flight_active.store(true, std::memory_order_relaxed);
+  internal::g_flight_active.store(true, mc::memory_order_relaxed);
 }
 
 void StopFlightRecording() {
-  internal::g_flight_active.store(false, std::memory_order_relaxed);
+  internal::g_flight_active.store(false, mc::memory_order_relaxed);
 }
 
 void ResetFlightRecorder() {
   RingRegistry& registry = Rings();
   MutexLock lock(registry.mu);
   for (FlightRing* ring : registry.rings) {
-    ring->head.store(0, std::memory_order_relaxed);
+    ring->head.store(0, mc::memory_order_relaxed);
     for (Slot& slot : ring->slots) {
-      slot.seq.store(0, std::memory_order_relaxed);
+      slot.seq.store(0, mc::memory_order_relaxed);
     }
   }
 }
+
+namespace internal {
+void DropAllRingsForTesting() {
+  RingRegistry& registry = Rings();
+  MutexLock lock(registry.mu);
+  for (FlightRing* ring : registry.rings) delete ring;
+  registry.rings.clear();
+}
+}  // namespace internal
 
 uint32_t InternFlightName(const char* name) {
   MC_CHECK(name != nullptr);
@@ -181,21 +190,21 @@ uint32_t InternFlightName(const char* name) {
 void RecordFlightEvent(FlightEventType type, uint32_t name_id, double value) {
   if (!FlightRecordingActive()) return;
   FlightRing* ring = ThisThreadRing();
-  const uint64_t index = ring->head.load(std::memory_order_relaxed);
+  const uint64_t index = ring->head.load(mc::memory_order_relaxed);
   Slot& slot = ring->slots[index & (kFlightRingSlots - 1)];
   // Per-slot seqlock, single writer: mark in-progress, publish the odd
   // marker before the payload (release fence), then publish the even
   // marker after it (release store). A reader validating seq on both
   // sides of its payload copy can therefore never accept a torn slot.
-  slot.seq.store(2 * index + 1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
+  slot.seq.store(2 * index + 1, mc::memory_order_relaxed);
+  mc::atomic_thread_fence(mc::memory_order_release);
   slot.meta.store(static_cast<uint64_t>(name_id) |
                       (static_cast<uint64_t>(type) << 32),
-                  std::memory_order_relaxed);
-  slot.ts_bits.store(DoubleBits(NowMicros()), std::memory_order_relaxed);
-  slot.value_bits.store(DoubleBits(value), std::memory_order_relaxed);
-  slot.seq.store(2 * index + 2, std::memory_order_release);
-  ring->head.store(index + 1, std::memory_order_release);
+                  mc::memory_order_relaxed);
+  slot.ts_bits.store(DoubleBits(NowMicros()), mc::memory_order_relaxed);
+  slot.value_bits.store(DoubleBits(value), mc::memory_order_relaxed);
+  slot.seq.store(2 * index + 2, mc::memory_order_release);
+  ring->head.store(index + 1, mc::memory_order_release);
 }
 
 FlightSnapshot SnapshotFlight() {
@@ -204,24 +213,24 @@ FlightSnapshot SnapshotFlight() {
     RingRegistry& registry = Rings();
     MutexLock lock(registry.mu);
     for (FlightRing* ring : registry.rings) {
-      const uint64_t head = ring->head.load(std::memory_order_acquire);
+      const uint64_t head = ring->head.load(mc::memory_order_acquire);
       const uint64_t begin =
           head > kFlightRingSlots ? head - kFlightRingSlots : 0;
       snapshot.overwritten += begin;
       for (uint64_t i = begin; i < head; ++i) {
         const Slot& slot = ring->slots[i & (kFlightRingSlots - 1)];
-        const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+        const uint64_t seq_before = slot.seq.load(mc::memory_order_acquire);
         if (seq_before == 0) continue;      // never written (reset race)
         if ((seq_before & 1) != 0) {        // writer mid-update
           ++snapshot.torn;
           continue;
         }
-        const uint64_t meta = slot.meta.load(std::memory_order_relaxed);
-        const uint64_t ts_bits = slot.ts_bits.load(std::memory_order_relaxed);
+        const uint64_t meta = slot.meta.load(mc::memory_order_relaxed);
+        const uint64_t ts_bits = slot.ts_bits.load(mc::memory_order_relaxed);
         const uint64_t value_bits =
-            slot.value_bits.load(std::memory_order_relaxed);
-        std::atomic_thread_fence(std::memory_order_acquire);
-        const uint64_t seq_after = slot.seq.load(std::memory_order_relaxed);
+            slot.value_bits.load(mc::memory_order_relaxed);
+        mc::atomic_thread_fence(mc::memory_order_acquire);
+        const uint64_t seq_after = slot.seq.load(mc::memory_order_relaxed);
         if (seq_before != seq_after) {  // overwritten while copying
           ++snapshot.torn;
           continue;
@@ -292,7 +301,11 @@ bool ReadFlightDump(std::istream& in, FlightSnapshot* snapshot,
     return fail("corrupt name table size");
   }
   snapshot->names.clear();
-  snapshot->names.reserve(name_count);
+  // Trust the stream, not the header: a truncated or garbage dump can
+  // claim kMaxNames entries while holding four bytes, and reserving on
+  // the claim would allocate gigabytes before the first read fails.
+  // Reserve a modest floor and let push_back grow against actual bytes.
+  snapshot->names.reserve(std::min<uint32_t>(name_count, 1u << 10));
   for (uint32_t i = 0; i < name_count; ++i) {
     uint32_t length = 0;
     if (!GetU32(in, &length) || length > kMaxNameLen) {
@@ -309,7 +322,12 @@ bool ReadFlightDump(std::istream& in, FlightSnapshot* snapshot,
     return fail("corrupt event count");
   }
   snapshot->events.clear();
-  snapshot->events.reserve(event_count);
+  // Same defense as the name table: kMaxEvents is 2^28, which at 32
+  // bytes per FlightEvent would reserve 8 GiB on the say-so of eight
+  // corrupt bytes. 28 wire bytes per event bound what the stream can
+  // actually deliver; grow incrementally past the floor.
+  snapshot->events.reserve(
+      static_cast<std::size_t>(std::min<uint64_t>(event_count, 1u << 14)));
   for (uint64_t i = 0; i < event_count; ++i) {
     FlightEvent event;
     uint32_t type = 0;

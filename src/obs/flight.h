@@ -28,11 +28,12 @@
 #ifndef MONOCLASS_OBS_FLIGHT_H_
 #define MONOCLASS_OBS_FLIGHT_H_
 
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "util/sync_model.h"
 
 namespace monoclass {
 namespace obs {
@@ -61,10 +62,25 @@ struct FlightSnapshot {
 };
 
 namespace internal {
-extern std::atomic<bool> g_flight_active;
+extern mc::atomic<bool> g_flight_active;
 // Slots per thread ring; must be a power of two. At 32 bytes per slot a
-// ring is 128 KiB, leaked once per thread that records.
+// ring is 128 KiB, leaked once per thread that records. Model builds
+// shrink the ring so each execution's per-thread ring is cheap to
+// allocate and destroy (the mc_model scenarios run thousands of
+// executions, and every slot atomic's destructor is a model hook).
+#if MC_MODEL_COMPILED
+constexpr std::size_t kFlightRingSlots = 16;
+#else
 constexpr std::size_t kFlightRingSlots = 4096;
+#endif
+
+// Frees every registered ring and empties the registry. ONLY for tests
+// that spawn short-lived recording threads in a loop (the mc_model
+// scenarios run thousands of executions; without this each execution
+// would leak a 128 KiB ring per thread). Every thread that ever
+// recorded must have exited first -- their cached thread_local ring
+// pointers dangle after this call.
+void DropAllRingsForTesting();
 }  // namespace internal
 
 // Recording control, independent of tracing (MONOCLASS_FLIGHT=1 turns it
@@ -73,7 +89,7 @@ constexpr std::size_t kFlightRingSlots = 4096;
 void StartFlightRecording();
 void StopFlightRecording();
 inline bool FlightRecordingActive() {
-  return internal::g_flight_active.load(std::memory_order_relaxed);
+  return internal::g_flight_active.load(mc::memory_order_relaxed);
 }
 
 // Empties every ring and zeroes the overwrite accounting (interned names

@@ -17,26 +17,26 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Same CAS idiom as obs/metrics.cc: contention is rare (one update per
 // solve / pool task, not per element).
-void AtomicMin(std::atomic<double>& target, double value) {
-  double current = target.load(std::memory_order_relaxed);
+void AtomicMin(mc::atomic<double>& target, double value) {
+  double current = target.load(mc::memory_order_relaxed);
   while (value < current &&
          !target.compare_exchange_weak(current, value,
-                                       std::memory_order_relaxed)) {
+                                       mc::memory_order_relaxed)) {
   }
 }
 
-void AtomicMax(std::atomic<double>& target, double value) {
-  double current = target.load(std::memory_order_relaxed);
+void AtomicMax(mc::atomic<double>& target, double value) {
+  double current = target.load(mc::memory_order_relaxed);
   while (value > current &&
          !target.compare_exchange_weak(current, value,
-                                       std::memory_order_relaxed)) {
+                                       mc::memory_order_relaxed)) {
   }
 }
 
-void AtomicAdd(std::atomic<double>& target, double delta) {
-  double current = target.load(std::memory_order_relaxed);
+void AtomicAdd(mc::atomic<double>& target, double delta) {
+  double current = target.load(mc::memory_order_relaxed);
   while (!target.compare_exchange_weak(current, current + delta,
-                                       std::memory_order_relaxed)) {
+                                       mc::memory_order_relaxed)) {
   }
 }
 
@@ -75,19 +75,19 @@ double LatencyHistogram::BucketUpperBound(int bucket) {
 }
 
 void LatencyHistogram::Observe(double value_us) {
-  count_.fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, mc::memory_order_relaxed);
   AtomicAdd(sum_, value_us);
   AtomicMin(min_, value_us);
   AtomicMax(max_, value_us);
-  buckets_[BucketIndex(value_us)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketIndex(value_us)].fetch_add(1, mc::memory_order_relaxed);
 }
 
 double LatencyHistogram::Min() const {
-  return min_.load(std::memory_order_relaxed);
+  return min_.load(mc::memory_order_relaxed);
 }
 
 double LatencyHistogram::Max() const {
-  return max_.load(std::memory_order_relaxed);
+  return max_.load(mc::memory_order_relaxed);
 }
 
 double LatencyHistogram::Mean() const {
@@ -98,7 +98,7 @@ double LatencyHistogram::Mean() const {
 uint64_t LatencyHistogram::BucketCount(int bucket) const {
   MC_CHECK_GE(bucket, 0);
   MC_CHECK_LT(bucket, kNumBuckets);
-  return buckets_[bucket].load(std::memory_order_relaxed);
+  return buckets_[bucket].load(mc::memory_order_relaxed);
 }
 
 double LatencyHistogram::Quantile(double q) const {
@@ -108,7 +108,7 @@ double LatencyHistogram::Quantile(double q) const {
   uint64_t counts[kNumBuckets];
   uint64_t total = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
-    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    counts[b] = buckets_[b].load(mc::memory_order_relaxed);
     total += counts[b];
   }
   if (total == 0) return 0.0;
@@ -136,21 +136,21 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   const uint64_t other_count = other.Count();
   if (other_count == 0) return;
   for (int b = 0; b < kNumBuckets; ++b) {
-    const uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
-    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    const uint64_t n = other.buckets_[b].load(mc::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, mc::memory_order_relaxed);
   }
-  count_.fetch_add(other_count, std::memory_order_relaxed);
+  count_.fetch_add(other_count, mc::memory_order_relaxed);
   AtomicAdd(sum_, other.Sum());
   AtomicMin(min_, other.Min());
   AtomicMax(max_, other.Max());
 }
 
 void LatencyHistogram::Reset() {
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(kInf, std::memory_order_relaxed);
-  max_.store(-kInf, std::memory_order_relaxed);
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, mc::memory_order_relaxed);
+  sum_.store(0.0, mc::memory_order_relaxed);
+  min_.store(kInf, mc::memory_order_relaxed);
+  max_.store(-kInf, mc::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, mc::memory_order_relaxed);
 }
 
 }  // namespace obs

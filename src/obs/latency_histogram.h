@@ -22,8 +22,9 @@
 #ifndef MONOCLASS_OBS_LATENCY_HISTOGRAM_H_
 #define MONOCLASS_OBS_LATENCY_HISTOGRAM_H_
 
-#include <atomic>
 #include <cstdint>
+
+#include "util/sync_model.h"
 
 namespace monoclass {
 namespace obs {
@@ -41,8 +42,8 @@ class LatencyHistogram {
 
   void Observe(double value_us);
 
-  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
-  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Count() const { return count_.load(mc::memory_order_relaxed); }
+  double Sum() const { return sum_.load(mc::memory_order_relaxed); }
   double Min() const;  // +inf when empty
   double Max() const;  // -inf when empty
   double Mean() const;
@@ -68,11 +69,11 @@ class LatencyHistogram {
   static double BucketUpperBound(int bucket);  // exclusive; +inf for the last
 
  private:
-  std::atomic<uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> min_;  // +inf until first Observe
-  std::atomic<double> max_;  // -inf until first Observe
-  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  mc::atomic<uint64_t> count_{0};
+  mc::atomic<double> sum_{0.0};
+  mc::atomic<double> min_;  // +inf until first Observe
+  mc::atomic<double> max_;  // -inf until first Observe
+  mc::atomic<uint64_t> buckets_[kNumBuckets] = {};
 
  public:
   LatencyHistogram();

@@ -19,26 +19,26 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Lock-free min/max via compare-exchange (contention is rare: histograms
 // record per-phase aggregates, not per-element events).
-void AtomicMin(std::atomic<double>& target, double value) {
-  double current = target.load(std::memory_order_relaxed);
+void AtomicMin(mc::atomic<double>& target, double value) {
+  double current = target.load(mc::memory_order_relaxed);
   while (value < current &&
          !target.compare_exchange_weak(current, value,
-                                       std::memory_order_relaxed)) {
+                                       mc::memory_order_relaxed)) {
   }
 }
 
-void AtomicMax(std::atomic<double>& target, double value) {
-  double current = target.load(std::memory_order_relaxed);
+void AtomicMax(mc::atomic<double>& target, double value) {
+  double current = target.load(mc::memory_order_relaxed);
   while (value > current &&
          !target.compare_exchange_weak(current, value,
-                                       std::memory_order_relaxed)) {
+                                       mc::memory_order_relaxed)) {
   }
 }
 
-void AtomicAdd(std::atomic<double>& target, double delta) {
-  double current = target.load(std::memory_order_relaxed);
+void AtomicAdd(mc::atomic<double>& target, double delta) {
+  double current = target.load(mc::memory_order_relaxed);
   while (!target.compare_exchange_weak(current, current + delta,
-                                       std::memory_order_relaxed)) {
+                                       mc::memory_order_relaxed)) {
   }
 }
 
@@ -54,27 +54,27 @@ int Histogram::BucketIndex(double value) {
 }
 
 void Histogram::Observe(double value) {
-  const uint64_t previous = count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t previous = count_.fetch_add(1, mc::memory_order_relaxed);
   AtomicAdd(sum_, value);
   if (previous == 0) {
     // First observation seeds min/max; racing observers converge through
     // the CAS loops below.
     double expected = 0.0;
-    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+    min_.compare_exchange_strong(expected, value, mc::memory_order_relaxed);
     expected = 0.0;
-    max_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+    max_.compare_exchange_strong(expected, value, mc::memory_order_relaxed);
   }
   AtomicMin(min_, value);
   AtomicMax(max_, value);
-  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketIndex(value)].fetch_add(1, mc::memory_order_relaxed);
 }
 
 double Histogram::Min() const {
-  return Count() == 0 ? kInf : min_.load(std::memory_order_relaxed);
+  return Count() == 0 ? kInf : min_.load(mc::memory_order_relaxed);
 }
 
 double Histogram::Max() const {
-  return Count() == 0 ? -kInf : max_.load(std::memory_order_relaxed);
+  return Count() == 0 ? -kInf : max_.load(mc::memory_order_relaxed);
 }
 
 double Histogram::Mean() const {
@@ -85,15 +85,15 @@ double Histogram::Mean() const {
 uint64_t Histogram::BucketCount(int bucket) const {
   MC_CHECK_GE(bucket, 0);
   MC_CHECK_LT(bucket, kNumBuckets);
-  return buckets_[bucket].load(std::memory_order_relaxed);
+  return buckets_[bucket].load(mc::memory_order_relaxed);
 }
 
 void Histogram::Reset() {
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, mc::memory_order_relaxed);
+  sum_.store(0.0, mc::memory_order_relaxed);
+  min_.store(0.0, mc::memory_order_relaxed);
+  max_.store(0.0, mc::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, mc::memory_order_relaxed);
 }
 
 const MetricSample* MetricsSnapshot::Find(std::string_view name) const {

@@ -17,7 +17,6 @@
 #ifndef MONOCLASS_OBS_METRICS_H_
 #define MONOCLASS_OBS_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -26,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/sync_model.h"
 #include "obs/latency_histogram.h"
 #include "util/concurrency.h"
 
@@ -36,24 +36,24 @@ namespace obs {
 class Counter {
  public:
   void Add(uint64_t delta) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    value_.fetch_add(delta, mc::memory_order_relaxed);
   }
-  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(mc::memory_order_relaxed); }
+  void Reset() { value_.store(0, mc::memory_order_relaxed); }
 
  private:
-  std::atomic<uint64_t> value_{0};
+  mc::atomic<uint64_t> value_{0};
 };
 
 // Last-value gauge.
 class Gauge {
  public:
-  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
-  double Value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  void Set(double value) { value_.store(value, mc::memory_order_relaxed); }
+  double Value() const { return value_.load(mc::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, mc::memory_order_relaxed); }
 
  private:
-  std::atomic<double> value_{0.0};
+  mc::atomic<double> value_{0.0};
 };
 
 // Histogram over doubles with power-of-two buckets: bucket b counts
@@ -68,8 +68,8 @@ class Histogram {
 
   void Observe(double value);
 
-  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
-  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Count() const { return count_.load(mc::memory_order_relaxed); }
+  double Sum() const { return sum_.load(mc::memory_order_relaxed); }
   double Min() const;  // +inf when empty
   double Max() const;  // -inf when empty
   double Mean() const;
@@ -81,11 +81,11 @@ class Histogram {
   void Reset();
 
  private:
-  std::atomic<uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
-  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  mc::atomic<uint64_t> count_{0};
+  mc::atomic<double> sum_{0.0};
+  mc::atomic<double> min_{0.0};
+  mc::atomic<double> max_{0.0};
+  mc::atomic<uint64_t> buckets_[kNumBuckets] = {};
 };
 
 // One metric in a point-in-time snapshot.

@@ -22,7 +22,7 @@ namespace monoclass {
 namespace obs {
 namespace internal {
 
-std::atomic<int> g_enabled_state{-1};
+mc::atomic<int> g_enabled_state{-1};
 
 namespace {
 
@@ -39,15 +39,15 @@ bool InitEnabledFromEnv() {
   const bool enabled = EnvTruthy("MONOCLASS_OBS");
   int expected = -1;
   g_enabled_state.compare_exchange_strong(expected, enabled ? 1 : 0,
-                                          std::memory_order_relaxed);
-  return g_enabled_state.load(std::memory_order_relaxed) != 0;
+                                          mc::memory_order_relaxed);
+  return g_enabled_state.load(mc::memory_order_relaxed) != 0;
 }
 
 }  // namespace internal
 
 void SetEnabled(bool enabled) {
   internal::g_enabled_state.store(enabled ? 1 : 0,
-                                  std::memory_order_relaxed);
+                                  mc::memory_order_relaxed);
 }
 
 void InitFromEnv() {

@@ -43,8 +43,9 @@
 #ifndef MONOCLASS_OBS_OBS_H_
 #define MONOCLASS_OBS_OBS_H_
 
-#include <atomic>
 #include <string>
+
+#include "util/sync_model.h"
 
 #if defined(MONOCLASS_OBS) && MONOCLASS_OBS && !defined(MONOCLASS_OBS_DISABLE)
 #define MC_OBS_COMPILED 1
@@ -58,14 +59,14 @@ namespace obs {
 namespace internal {
 // Tri-state: -1 = uninitialized (read MONOCLASS_OBS env on first query),
 // 0 = disabled, 1 = enabled.
-extern std::atomic<int> g_enabled_state;
+extern mc::atomic<int> g_enabled_state;
 // Out-of-line slow path: parses the environment once and caches.
 bool InitEnabledFromEnv();
 }  // namespace internal
 
 // Whether the metrics/tracing macros are live right now.
 inline bool Enabled() {
-  const int state = internal::g_enabled_state.load(std::memory_order_relaxed);
+  const int state = internal::g_enabled_state.load(mc::memory_order_relaxed);
   if (state >= 0) return state != 0;
   return internal::InitEnabledFromEnv();
 }

@@ -4,7 +4,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
-#include <atomic>
+#include "util/sync_model.h"
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -23,8 +23,8 @@ namespace {
 // event puts the cap at ~50 MB.
 constexpr size_t kMaxTraceEvents = size_t{1} << 20;
 
-std::atomic<bool> g_tracing{false};
-std::atomic<uint64_t> g_dropped{0};
+mc::atomic<bool> g_tracing{false};
+mc::atomic<uint64_t> g_dropped{0};
 
 // The process-wide event buffer with its guarding mutex in one object,
 // so the thread-safety analysis can tie the two together.
@@ -50,7 +50,7 @@ bool Record(const char* name, char phase) {
   TraceBuffer& buffer = GlobalTraceBuffer();
   MutexLock lock(buffer.mu);
   if (phase == 'B' && buffer.events.size() >= kMaxTraceEvents) {
-    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    g_dropped.fetch_add(1, mc::memory_order_relaxed);
     return false;
   }
   TraceEvent event;
@@ -73,29 +73,29 @@ double NowMicros() {
 }
 
 uint32_t CurrentThreadId() {
-  static std::atomic<uint32_t> next_id{0};
+  static mc::atomic<uint32_t> next_id{0};
   thread_local const uint32_t id =
-      next_id.fetch_add(1, std::memory_order_relaxed);
+      next_id.fetch_add(1, mc::memory_order_relaxed);
   return id;
 }
 
 void StartTracing() {
   TraceEpoch();  // pin the epoch no later than the first span
-  g_tracing.store(true, std::memory_order_relaxed);
+  g_tracing.store(true, mc::memory_order_relaxed);
 }
 
-void StopTracing() { g_tracing.store(false, std::memory_order_relaxed); }
+void StopTracing() { g_tracing.store(false, mc::memory_order_relaxed); }
 
-bool TracingActive() { return g_tracing.load(std::memory_order_relaxed); }
+bool TracingActive() { return g_tracing.load(mc::memory_order_relaxed); }
 
 void ClearTrace() {
   TraceBuffer& buffer = GlobalTraceBuffer();
   MutexLock lock(buffer.mu);
   buffer.events.clear();
-  g_dropped.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, mc::memory_order_relaxed);
 }
 
-uint64_t DroppedSpans() { return g_dropped.load(std::memory_order_relaxed); }
+uint64_t DroppedSpans() { return g_dropped.load(mc::memory_order_relaxed); }
 
 std::vector<TraceEvent> TraceSnapshot() {
   TraceBuffer& buffer = GlobalTraceBuffer();

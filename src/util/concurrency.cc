@@ -4,7 +4,6 @@
 #include "util/concurrency.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <memory>
 
@@ -16,11 +15,14 @@ namespace internal {
 namespace {
 
 // Each hook in its own atomic so a hot-path site loads exactly the
-// pointer it needs with one relaxed load.
-std::atomic<void (*)(std::size_t)> g_task_enqueued_hook{nullptr};
-std::atomic<void (*)(double)> g_task_started_hook{nullptr};
-std::atomic<void (*)(double)> g_task_finished_hook{nullptr};
-std::atomic<void (*)(double)> g_mutex_contended_hook{nullptr};
+// pointer it needs with one acquire load. Install uses release stores /
+// the sites acquire loads so a hook installed after threads exist is
+// seen fully constructed (obs resolves its metric pointers before
+// installing; the release/acquire pair publishes those writes).
+mc::atomic<void (*)(std::size_t)> g_task_enqueued_hook{nullptr};
+mc::atomic<void (*)(double)> g_task_started_hook{nullptr};
+mc::atomic<void (*)(double)> g_task_finished_hook{nullptr};
+mc::atomic<void (*)(double)> g_mutex_contended_hook{nullptr};
 
 // Workers flag themselves so nested parallel calls degrade to serial
 // instead of blocking on pool capacity.
@@ -36,11 +38,11 @@ double QueueClockMicros() {
 }  // namespace
 
 void SetPoolHooks(const PoolHooks& hooks) {
-  g_task_enqueued_hook.store(hooks.task_enqueued, std::memory_order_relaxed);
-  g_task_started_hook.store(hooks.task_started, std::memory_order_relaxed);
-  g_task_finished_hook.store(hooks.task_finished, std::memory_order_relaxed);
+  g_task_enqueued_hook.store(hooks.task_enqueued, mc::memory_order_release);
+  g_task_started_hook.store(hooks.task_started, mc::memory_order_release);
+  g_task_finished_hook.store(hooks.task_finished, mc::memory_order_release);
   g_mutex_contended_hook.store(hooks.mutex_contended,
-                               std::memory_order_relaxed);
+                               mc::memory_order_release);
 }
 
 bool OnPoolThread() { return t_on_pool_thread; }
@@ -49,7 +51,7 @@ bool OnPoolThread() { return t_on_pool_thread; }
 
 void Mutex::LockSlow() {
   const auto hook =
-      internal::g_mutex_contended_hook.load(std::memory_order_relaxed);
+      internal::g_mutex_contended_hook.load(mc::memory_order_acquire);
   if (hook == nullptr) {
     mu_.lock();
     return;
@@ -86,7 +88,7 @@ ThreadPool::~ThreadPool() {
     shutdown_ = true;
   }
   work_cv_.NotifyAll();
-  for (std::thread& worker : workers_) worker.join();
+  for (mc::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -101,7 +103,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   work_cv_.NotifyOne();
   const auto enqueued_hook =
-      internal::g_task_enqueued_hook.load(std::memory_order_relaxed);
+      internal::g_task_enqueued_hook.load(mc::memory_order_acquire);
   if (enqueued_hook != nullptr) enqueued_hook(depth);
 }
 
@@ -117,12 +119,12 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     const auto started_hook =
-        internal::g_task_started_hook.load(std::memory_order_relaxed);
+        internal::g_task_started_hook.load(mc::memory_order_acquire);
     if (started_hook != nullptr) {
       started_hook(internal::QueueClockMicros() - task.enqueue_us);
     }
     const auto finished_hook =
-        internal::g_task_finished_hook.load(std::memory_order_relaxed);
+        internal::g_task_finished_hook.load(mc::memory_order_acquire);
     if (finished_hook == nullptr) {
       task.fn();
     } else {
@@ -153,7 +155,7 @@ struct Region {
 
   std::function<void(std::size_t)> run_item;
   const std::size_t num_items;
-  std::atomic<std::size_t> next{0};
+  mc::atomic<std::size_t> next{0};
 
   Mutex mu;
   CondVar done_cv;
@@ -166,7 +168,7 @@ struct Region {
 void DrainRegion(const std::shared_ptr<Region>& region) {
   while (true) {
     const std::size_t item =
-        region->next.fetch_add(1, std::memory_order_relaxed);
+        region->next.fetch_add(1, mc::memory_order_relaxed);
     if (item >= region->num_items) return;
     try {
       region->run_item(item);

@@ -22,23 +22,22 @@
 #ifndef MONOCLASS_UTIL_CONCURRENCY_H_
 #define MONOCLASS_UTIL_CONCURRENCY_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/sync_model.h"
 #include "util/thread_annotations.h"
 
 namespace monoclass {
 
-// Annotated exclusive mutex. A thin wrapper over std::mutex whose
-// Lock/Unlock carry acquire/release capability annotations, making
-// GUARDED_BY data checkable.
+// Annotated exclusive mutex. A thin wrapper over the mc::Mutex seam
+// (a bare std::mutex in normal builds, a scheduler-controlled virtual
+// lock under MONOCLASS_MODEL) whose Lock/Unlock carry acquire/release
+// capability annotations, making GUARDED_BY data checkable.
 class MC_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
@@ -60,7 +59,7 @@ class MC_CAPABILITY("mutex") Mutex {
   void LockSlow();
 
   friend class CondVar;
-  std::mutex mu_;
+  mc::Mutex mu_;
 };
 
 // RAII lock. The scoped-capability annotation lets the analysis treat
@@ -108,7 +107,7 @@ class CondVar {
   void NotifyAll() { cv_.notify_all(); }
 
  private:
-  std::condition_variable_any cv_;
+  mc::CondVar cv_;
 };
 
 // Thread-count knob for the parallel helpers. 0 (the default) resolves
@@ -192,7 +191,7 @@ class ThreadPool {
   CondVar work_cv_;
   std::deque<QueuedTask> queue_ MC_GUARDED_BY(mu_);
   bool shutdown_ MC_GUARDED_BY(mu_) = false;
-  std::vector<std::thread> workers_;
+  std::vector<mc::thread> workers_;
 };
 
 // Runs fn(begin, end, shard) over a deterministic partition of [0, n)

@@ -1,0 +1,385 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// The pluggable sync seam: every atomic, fence, raw mutex, condition
+// variable, and thread in the tree goes through the `mc::` wrappers
+// defined here (enforced by mc_lint rules MC006/MC011).
+//
+// In a normal build (MONOCLASS_MODEL off, the default) everything in
+// this header is a bare alias or a forced-inline forwarder to the std::
+// primitive -- zero cost, bit-identical behavior, verified by
+// tests/model_compile_out_test.cc.
+//
+// Under -DMONOCLASS_MODEL=1 the wrappers route every visible operation
+// through the mc_model scheduler (src/model/scheduler.h) whenever the
+// calling thread belongs to an active model::Explore execution: loads
+// and stores hit a per-location store buffer with vector-clock
+// happens-before, locks and waits become virtual scheduling events, and
+// mc::thread spawns model-controlled threads. Threads outside an
+// exploration (test setup, main) fall through to the real primitive, so
+// a model build still runs ordinary code correctly.
+//
+// `mc::cell<T>` wraps *plain* (non-atomic) shared data: free in normal
+// builds, race-checked against the happens-before clocks in the model.
+//
+// Values routed through the model are carried as raw bits, so modeled
+// atomics must be trivially copyable and at most 8 bytes -- true of
+// every atomic in the tree (counters, sequence words, function
+// pointers, flags).
+
+#ifndef MONOCLASS_UTIL_SYNC_MODEL_H_
+#define MONOCLASS_UTIL_SYNC_MODEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#if defined(MONOCLASS_MODEL) && MONOCLASS_MODEL
+#define MC_MODEL_COMPILED 1
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "model/scheduler.h"
+#else
+#define MC_MODEL_COMPILED 0
+#endif
+
+namespace monoclass {
+namespace mc {
+
+// Memory orders are re-exported so call sites never spell std::
+// (MC011); both builds use the real enum values.
+using memory_order = std::memory_order;
+inline constexpr memory_order memory_order_relaxed = std::memory_order_relaxed;
+inline constexpr memory_order memory_order_consume = std::memory_order_consume;
+inline constexpr memory_order memory_order_acquire = std::memory_order_acquire;
+inline constexpr memory_order memory_order_release = std::memory_order_release;
+inline constexpr memory_order memory_order_acq_rel = std::memory_order_acq_rel;
+inline constexpr memory_order memory_order_seq_cst = std::memory_order_seq_cst;
+
+#if !MC_MODEL_COMPILED
+
+// ---------------------------------------------------------------------
+// Production build: pure aliases. The compile-out test asserts these
+// are the std types themselves, so the seam provably costs nothing.
+
+template <typename T>
+using atomic = std::atomic<T>;
+
+inline void atomic_thread_fence(memory_order order) {
+  std::atomic_thread_fence(order);
+}
+
+using Mutex = std::mutex;
+using CondVar = std::condition_variable_any;
+using thread = std::thread;
+
+// Plain shared data (guarded by external synchronization). Zero-cost
+// accessors here; race-checked under the model.
+template <typename T>
+class cell {
+ public:
+  cell() = default;
+  explicit cell(T value) : value_(value) {}
+  T get() const { return value_; }
+  void set(T value) { value_ = value; }
+
+ private:
+  T value_;
+};
+
+#else  // MC_MODEL_COMPILED
+
+// ---------------------------------------------------------------------
+// Model build: scheduler-routed wrappers. Real std state is kept as
+// ground truth so non-modeled threads (and post-execution code) still
+// see coherent values.
+
+template <typename T>
+class atomic {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "modeled atomics carry values as raw 64-bit messages");
+
+ public:
+  atomic() noexcept = default;
+  constexpr atomic(T value) noexcept : real_(value) {}  // NOLINT(runtime/explicit)
+  ~atomic() { model::hooks::ObjectDestroyed(this); }
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(memory_order order = memory_order_seq_cst) const {
+    if (model::InModelledExecution()) {
+      return FromBits(model::hooks::AtomicLoad(
+          this, static_cast<int>(order),
+          Bits(real_.load(std::memory_order_relaxed))));
+    }
+    return real_.load(order);
+  }
+
+  void store(T value, memory_order order = memory_order_seq_cst) {
+    if (model::InModelledExecution()) {
+      model::hooks::AtomicStore(this, static_cast<int>(order), Bits(value),
+                                Bits(real_.load(std::memory_order_relaxed)));
+      real_.store(value, std::memory_order_relaxed);
+      return;
+    }
+    real_.store(value, order);
+  }
+
+  T exchange(T value, memory_order order = memory_order_seq_cst) {
+    return Rmw(order, [value](T) { return value; });
+  }
+
+  T fetch_add(T delta, memory_order order = memory_order_seq_cst) {
+    return Rmw(order, [delta](T old) { return static_cast<T>(old + delta); });
+  }
+
+  T fetch_sub(T delta, memory_order order = memory_order_seq_cst) {
+    return Rmw(order, [delta](T old) { return static_cast<T>(old - delta); });
+  }
+
+  T fetch_or(T bits, memory_order order = memory_order_seq_cst) {
+    return Rmw(order, [bits](T old) { return static_cast<T>(old | bits); });
+  }
+
+  T fetch_and(T bits, memory_order order = memory_order_seq_cst) {
+    return Rmw(order, [bits](T old) { return static_cast<T>(old & bits); });
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               memory_order success = memory_order_seq_cst,
+                               memory_order failure = memory_order_seq_cst) {
+    if (model::InModelledExecution()) {
+      uint64_t observed = 0;
+      const bool ok = model::hooks::AtomicCas(
+          this, static_cast<int>(success), static_cast<int>(failure),
+          Bits(expected), Bits(desired),
+          Bits(real_.load(std::memory_order_relaxed)), &observed);
+      if (ok) {
+        real_.store(desired, std::memory_order_relaxed);
+      } else {
+        expected = FromBits(observed);
+      }
+      return ok;
+    }
+    return real_.compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  // The model has no spurious CAS failures; weak == strong there.
+  bool compare_exchange_weak(T& expected, T desired,
+                             memory_order success = memory_order_seq_cst,
+                             memory_order failure = memory_order_seq_cst) {
+    if (model::InModelledExecution()) {
+      return compare_exchange_strong(expected, desired, success, failure);
+    }
+    return real_.compare_exchange_weak(expected, desired, success, failure);
+  }
+
+ private:
+  template <typename Op>
+  T Rmw(memory_order order, Op op) {
+    if (model::InModelledExecution()) {
+      const uint64_t old_bits = model::hooks::AtomicRmw(
+          this, static_cast<int>(order),
+          Bits(real_.load(std::memory_order_relaxed)),
+          [&op](uint64_t bits) { return Bits(op(FromBits(bits))); });
+      const T old_value = FromBits(old_bits);
+      real_.store(op(old_value), std::memory_order_relaxed);
+      return old_value;
+    }
+    // Non-modeled thread: run the functional update as a CAS loop on
+    // the real atomic (covers ops std::atomic lacks, e.g. max).
+    T old_value = real_.load(std::memory_order_relaxed);
+    while (!real_.compare_exchange_weak(old_value, op(old_value), order)) {
+    }
+    return old_value;
+  }
+
+  static uint64_t Bits(T value) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(T));
+    return bits;
+  }
+
+  static T FromBits(uint64_t bits) {
+    T value;
+    std::memcpy(&value, &bits, sizeof(T));
+    return value;
+  }
+
+  std::atomic<T> real_;
+};
+
+inline void atomic_thread_fence(memory_order order) {
+  if (model::InModelledExecution()) {
+    model::hooks::Fence(static_cast<int>(order));
+    return;
+  }
+  std::atomic_thread_fence(order);
+}
+
+class Mutex {
+ public:
+  Mutex() = default;
+  ~Mutex() { model::hooks::ObjectDestroyed(this); }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    if (model::InModelledExecution()) {
+      model::hooks::MutexLock(this);
+      return;
+    }
+    real_.lock();
+  }
+
+  bool try_lock() {
+    if (model::InModelledExecution()) {
+      return model::hooks::MutexTryLock(this);
+    }
+    return real_.try_lock();
+  }
+
+  void unlock() {
+    if (model::InModelledExecution()) {
+      model::hooks::MutexUnlock(this);
+      return;
+    }
+    real_.unlock();
+  }
+
+ private:
+  std::mutex real_;
+};
+
+// Mirrors the std::condition_variable_any surface the repo uses
+// (wait / wait_for / notify). Under the model there are no spurious
+// wakeups, and a timed wait is a scheduler choice between "notified"
+// and "timeout fired" -- both interleavings are explored.
+class CondVar {
+ public:
+  CondVar() = default;
+  ~CondVar() { model::hooks::ObjectDestroyed(this); }
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Lock>
+  void wait(Lock& lock) {
+    if (model::InModelledExecution()) {
+      model::hooks::CondWait(this, &lock);
+      return;
+    }
+    real_.wait(lock);
+  }
+
+  template <typename Lock, typename Rep, typename Period>
+  std::cv_status wait_for(Lock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    if (model::InModelledExecution()) {
+      return model::hooks::CondWaitFor(this, &lock)
+                 ? std::cv_status::no_timeout
+                 : std::cv_status::timeout;
+    }
+    return real_.wait_for(lock, timeout);
+  }
+
+  void notify_one() {
+    if (model::InModelledExecution()) {
+      model::hooks::CondNotifyOne(this);
+      return;
+    }
+    real_.notify_one();
+  }
+
+  void notify_all() {
+    if (model::InModelledExecution()) {
+      model::hooks::CondNotifyAll(this);
+      return;
+    }
+    real_.notify_all();
+  }
+
+ private:
+  std::condition_variable_any real_;
+};
+
+class thread {
+ public:
+  thread() noexcept = default;
+
+  // Model threads auto-join on destruction: when a violation unwinds the
+  // scenario body past a joinable mc::thread, the scheduler must still
+  // release and reap the real thread (std::thread would terminate()).
+  // Threads created outside an exploration keep exact std semantics.
+  ~thread() {
+    if (tid_ >= 0 && real_.joinable()) join();
+  }
+
+  template <typename F>
+  explicit thread(F fn) {
+    if (model::InModelledExecution()) {
+      tid_ = model::hooks::ThreadSpawn();
+      std::function<void()> body(std::move(fn));
+      const int tid = tid_;
+      real_ = std::thread(
+          [tid, body = std::move(body)] { model::hooks::ThreadBody(tid, body); });
+    } else {
+      real_ = std::thread(std::move(fn));
+    }
+  }
+
+  thread(thread&&) noexcept = default;
+  thread& operator=(thread&& other) noexcept {
+    real_ = std::move(other.real_);  // std semantics: terminates if joinable
+    tid_ = other.tid_;
+    other.tid_ = -1;
+    return *this;
+  }
+  thread(const thread&) = delete;
+  thread& operator=(const thread&) = delete;
+
+  bool joinable() const { return real_.joinable(); }
+
+  void join() {
+    if (tid_ >= 0) model::hooks::ThreadJoin(tid_);
+    real_.join();
+    tid_ = -1;
+  }
+
+ private:
+  std::thread real_;
+  int tid_ = -1;
+};
+
+template <typename T>
+class cell {
+ public:
+  cell() = default;
+  explicit cell(T value) : value_(value) {}
+  ~cell() { model::hooks::ObjectDestroyed(this); }
+
+  T get() const {
+    if (model::InModelledExecution()) model::hooks::PlainRead(this);
+    return value_;
+  }
+
+  void set(T value) {
+    if (model::InModelledExecution()) model::hooks::PlainWrite(this);
+    value_ = value;
+  }
+
+ private:
+  T value_;
+};
+
+#endif  // MC_MODEL_COMPILED
+
+}  // namespace mc
+}  // namespace monoclass
+
+#endif  // MONOCLASS_UTIL_SYNC_MODEL_H_

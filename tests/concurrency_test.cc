@@ -9,7 +9,7 @@
 
 #include "util/concurrency.h"
 
-#include <atomic>
+#include "util/sync_model.h"
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -39,7 +39,7 @@ TEST(MutexTest, TryLockReportsContention) {
   // Probe from a dedicated pool worker while this thread holds the lock
   // (re-TryLock on the owning thread would be undefined behavior). The
   // pool destructor drains the task, so the probe finished by the check.
-  std::atomic<bool> acquired{true};
+  mc::atomic<bool> acquired{true};
   {
     ThreadPool pool(1);
     pool.Submit([&] {
@@ -71,15 +71,84 @@ TEST(CondVarTest, PredicateWaitSeesNotifiedState) {
   }
 }
 
+TEST(CondVarTest, TimedWaitZeroAndNegativeTimeoutsExpireImmediately) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  // Nobody ever notifies: a zero or negative budget is already past its
+  // deadline, so WaitFor must report a timeout, not block.
+  EXPECT_FALSE(cv.WaitFor(mu, 0.0));
+  EXPECT_FALSE(cv.WaitFor(mu, -5.0));
+}
+
+TEST(CondVarTest, TimedWaitTimesOutWhenNeverNotified) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  // A spurious wakeup may surface as "notified"; re-arm a few times --
+  // with no notifier in sight, the timeout path must win quickly.
+  bool notified = true;
+  for (int attempt = 0; attempt < 100 && notified; ++attempt) {
+    notified = cv.WaitFor(mu, 1.0);
+  }
+  EXPECT_FALSE(notified);
+}
+
+TEST(CondVarTest, TimedWaitWakesOnNotifyBeforeTimeout) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  ThreadPool pool(1);
+  pool.Submit([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  MutexLock lock(mu);
+  // Generous per-arm budget; the loop re-arms across spurious wakeups
+  // and the notify-before-wait race. The test completing at all pins
+  // that a notification wakes a timed waiter.
+  while (!ready) {
+    cv.WaitFor(mu, 1000.0);
+  }
+  EXPECT_TRUE(ready);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
-  std::atomic<int> executed{0};
+  mc::atomic<int> executed{0};
   {
     ThreadPool pool(2);
     for (int i = 0; i < 100; ++i) {
-      pool.Submit([&] { executed.fetch_add(1, std::memory_order_relaxed); });
+      pool.Submit([&] { executed.fetch_add(1, mc::memory_order_relaxed); });
     }
   }  // ~ThreadPool must run all 100, not drop the queue
   EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownRunsTasksStillQueuedAtDestruction) {
+  mc::atomic<int> executed{0};
+  Mutex mu;
+  CondVar cv;
+  bool release = false;
+  {
+    ThreadPool pool(1);
+    // Gate the single worker so the 32 follow-up submissions are
+    // provably still in the queue when the destructor begins shutdown.
+    pool.Submit([&] {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&] { return release; });
+      executed.fetch_add(1, mc::memory_order_relaxed);
+    });
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] { executed.fetch_add(1, mc::memory_order_relaxed); });
+    }
+    {
+      MutexLock lock(mu);
+      release = true;
+    }
+    cv.NotifyAll();
+  }  // ~ThreadPool: shutdown must drain the 32 queued tasks, not drop them
+  EXPECT_EQ(executed.load(), 33);
 }
 
 TEST(ThreadPoolTest, SharedPoolIsWideEnoughForEightWayRequests) {
@@ -95,14 +164,14 @@ TEST(ParallelOptionsTest, ResolveDefaultsToHardwareAndHonorsExplicit) {
 TEST(ParallelForTest, ShardsPartitionTheRangeExactly) {
   for (const size_t threads : {size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
     for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{100}}) {
-      std::vector<std::atomic<int>> hits(n);
+      std::vector<mc::atomic<int>> hits(n);
       for (auto& h : hits) h.store(0);
       ParallelFor(n, ParallelOptions{.threads = threads},
                   [&](size_t begin, size_t end, size_t shard) {
                     EXPECT_LE(begin, end);
                     EXPECT_LT(shard, threads == 0 ? n + 1 : threads);
                     for (size_t i = begin; i < end; ++i) {
-                      hits[i].fetch_add(1, std::memory_order_relaxed);
+                      hits[i].fetch_add(1, mc::memory_order_relaxed);
                     }
                   });
       for (size_t i = 0; i < n; ++i) {
@@ -165,7 +234,7 @@ TEST(ParallelForTest, FirstExceptionPropagatesToCaller) {
                   }),
       std::runtime_error);
   // The pool must still be usable after a throwing region.
-  std::atomic<int> ran{0};
+  mc::atomic<int> ran{0};
   ParallelForEach(10, ParallelOptions{.threads = 4},
                   [&](size_t) { ran.fetch_add(1); });
   EXPECT_EQ(ran.load(), 10);
@@ -183,10 +252,10 @@ TEST(ParallelForEachTest, ExceptionFromTaskPropagates) {
 
 TEST(ParallelForEachTest, VisitsEveryIndexOnce) {
   constexpr size_t kN = 333;
-  std::vector<std::atomic<int>> hits(kN);
+  std::vector<mc::atomic<int>> hits(kN);
   for (auto& h : hits) h.store(0);
   ParallelForEach(kN, ParallelOptions{.threads = 8}, [&](size_t i) {
-    hits[i].fetch_add(1, std::memory_order_relaxed);
+    hits[i].fetch_add(1, mc::memory_order_relaxed);
   });
   for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
 }
@@ -195,7 +264,7 @@ TEST(ParallelForTest, NestedCallsDegradeToSerialInsteadOfDeadlocking) {
   // Each outer task issues an inner ParallelFor. Inner calls on pool
   // threads must run inline (nested parallelism is unsupported), so this
   // completes even when outer tasks occupy every worker.
-  std::atomic<int> inner_total{0};
+  mc::atomic<int> inner_total{0};
   ParallelForEach(16, ParallelOptions{.threads = 8}, [&](size_t) {
     ParallelFor(10, ParallelOptions{.threads = 8},
                 [&](size_t begin, size_t end, size_t) {

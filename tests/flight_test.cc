@@ -10,7 +10,7 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
+#include "util/sync_model.h"
 #include <set>
 #include <sstream>
 #include <string>
@@ -113,7 +113,7 @@ TEST_F(FlightTest, EightConcurrentWritersStayDecodable) {
   // Rendezvous before writing so each task lands on its own worker
   // thread (own ring): a worker that ran two tasks would overwrite the
   // first task's events entirely.
-  std::atomic<size_t> arrived{0};
+  mc::atomic<size_t> arrived{0};
   {
     ThreadPool pool(kWriters);
     for (size_t w = 0; w < kWriters; ++w) {

@@ -1,0 +1,301 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Litmus tests for the mc_model scheduler itself: classic memory-model
+// shapes with known answers, checked under exhaustive exploration.
+// These pin down the checker's semantics (store-buffer visibility,
+// release/acquire ordering, race detection, deadlock detection, timed
+// waits, replay) independently of the repo scenarios in the sibling
+// model_*_scenario.cc drivers.
+
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "model/scheduler.h"
+#include "util/sync_model.h"
+
+namespace monoclass {
+namespace {
+
+// Two unsynchronized load-then-store increments must lose an update in
+// at least one interleaving, and the DFS must terminate (completeness
+// in both directions: the bad schedule exists and is found).
+TEST(ModelChecker, ExhaustiveExplorationFindsLostUpdate) {
+  bool saw_lost_update = false;
+  bool saw_both_applied = false;
+  model::Options options;
+  const model::Result result = model::Explore(options, [&] {
+    mc::atomic<int> counter{0};
+    const auto increment = [&counter] {
+      const int value = counter.load(mc::memory_order_relaxed);
+      counter.store(value + 1, mc::memory_order_relaxed);
+    };
+    mc::thread a(increment);
+    mc::thread b(increment);
+    a.join();
+    b.join();
+    const int final_value = counter.load(mc::memory_order_relaxed);
+    if (final_value == 1) saw_lost_update = true;
+    if (final_value == 2) saw_both_applied = true;
+  });
+  EXPECT_FALSE(result.violation) << result.message;
+  EXPECT_TRUE(result.complete);
+  EXPECT_GE(result.executions, 2u);
+  EXPECT_TRUE(saw_lost_update);
+  EXPECT_TRUE(saw_both_applied);
+}
+
+// fetch_add reads the latest value in modification order, so atomic
+// RMW increments never lose updates on any schedule.
+TEST(ModelChecker, RmwIncrementsNeverLoseUpdates) {
+  model::Options options;
+  const model::Result result = model::Explore(options, [] {
+    mc::atomic<int> counter{0};
+    const auto increment = [&counter] {
+      counter.fetch_add(1, mc::memory_order_relaxed);
+    };
+    mc::thread a(increment);
+    mc::thread b(increment);
+    a.join();
+    b.join();
+    model::Check(counter.load(mc::memory_order_relaxed) == 2,
+                 "atomic RMW lost an update");
+  });
+  EXPECT_FALSE(result.violation) << result.message;
+  EXPECT_TRUE(result.complete);
+}
+
+// Message passing over relaxed atomics: the store buffer must let the
+// reader observe flag == 1 while still reading the stale data == 0.
+TEST(ModelChecker, RelaxedMessagePassingObservesStaleData) {
+  bool saw_stale_read = false;
+  model::Options options;
+  const model::Result result = model::Explore(options, [&] {
+    mc::atomic<int> data{0};
+    mc::atomic<int> flag{0};
+    mc::thread producer([&] {
+      data.store(1, mc::memory_order_relaxed);
+      flag.store(1, mc::memory_order_relaxed);
+    });
+    if (flag.load(mc::memory_order_relaxed) == 1 &&
+        data.load(mc::memory_order_relaxed) == 0) {
+      saw_stale_read = true;
+    }
+    producer.join();
+  });
+  EXPECT_FALSE(result.violation) << result.message;
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(saw_stale_read);
+}
+
+// The same shape with a release store / acquire load pair: once the
+// reader sees flag == 1 it must also see data == 1, on every schedule.
+TEST(ModelChecker, ReleaseAcquireForbidsStaleData) {
+  model::Options options;
+  const model::Result result = model::Explore(options, [] {
+    mc::atomic<int> data{0};
+    mc::atomic<int> flag{0};
+    mc::thread producer([&] {
+      data.store(1, mc::memory_order_relaxed);
+      flag.store(1, mc::memory_order_release);
+    });
+    if (flag.load(mc::memory_order_acquire) == 1) {
+      model::Check(data.load(mc::memory_order_relaxed) == 1,
+                   "acquire load did not synchronize with release store");
+    }
+    producer.join();
+  });
+  EXPECT_FALSE(result.violation) << result.message;
+  EXPECT_TRUE(result.complete);
+}
+
+// Release/acquire FENCES must provide the same guarantee as the
+// release store / acquire load pair (fence-to-fence synchronization).
+TEST(ModelChecker, FenceSynchronizationForbidsStaleData) {
+  model::Options options;
+  const model::Result result = model::Explore(options, [] {
+    mc::atomic<int> data{0};
+    mc::atomic<int> flag{0};
+    mc::thread producer([&] {
+      data.store(1, mc::memory_order_relaxed);
+      mc::atomic_thread_fence(mc::memory_order_release);
+      flag.store(1, mc::memory_order_relaxed);
+    });
+    if (flag.load(mc::memory_order_relaxed) == 1) {
+      mc::atomic_thread_fence(mc::memory_order_acquire);
+      model::Check(data.load(mc::memory_order_relaxed) == 1,
+                   "acquire fence did not synchronize with release fence");
+    }
+    producer.join();
+  });
+  EXPECT_FALSE(result.violation) << result.message;
+  EXPECT_TRUE(result.complete);
+}
+
+// An unsynchronized mc::cell write racing a read must be reported as a
+// data race, with a well-formed replay token.
+TEST(ModelChecker, PlainCellRaceIsDetected) {
+  model::Options options;
+  const model::Result result = model::Explore(options, [] {
+    mc::cell<int> shared{0};
+    mc::thread writer([&] { shared.set(1); });
+    (void)shared.get();
+    writer.join();
+  });
+  EXPECT_TRUE(result.violation);
+  EXPECT_NE(result.message.find("data race"), std::string::npos)
+      << result.message;
+  EXPECT_EQ(result.token.rfind("MCSCHED1:", 0), 0u) << result.token;
+}
+
+// The same race guarded by a mutex is race-free: lock/unlock edges
+// must feed the happens-before clocks.
+TEST(ModelChecker, MutexOrderingSuppressesRace) {
+  model::Options options;
+  const model::Result result = model::Explore(options, [] {
+    mc::Mutex mu;
+    mc::cell<int> shared{0};
+    mc::thread writer([&] {
+      mu.lock();
+      shared.set(1);
+      mu.unlock();
+    });
+    mu.lock();
+    (void)shared.get();
+    mu.unlock();
+    writer.join();
+  });
+  EXPECT_FALSE(result.violation) << result.message;
+  EXPECT_TRUE(result.complete);
+}
+
+// Feeding a violation's token back through Options::replay_token must
+// reproduce the same violation in exactly one execution.
+TEST(ModelChecker, ReplayTokenReproducesViolationDeterministically) {
+  const auto body = [] {
+    mc::cell<int> shared{0};
+    mc::thread writer([&] { shared.set(1); });
+    (void)shared.get();
+    writer.join();
+  };
+  model::Options options;
+  const model::Result first = model::Explore(options, body);
+  ASSERT_TRUE(first.violation);
+  ASSERT_FALSE(first.token.empty());
+
+  model::Options replay;
+  replay.replay_token = first.token;
+  const model::Result second = model::Explore(replay, body);
+  EXPECT_TRUE(second.violation);
+  EXPECT_EQ(second.executions, 1u);
+  EXPECT_EQ(second.token, first.token);
+  EXPECT_EQ(second.message, first.message);
+}
+
+// Classic ABBA lock ordering inversion must be reported as a deadlock
+// (no runnable thread while unfinished threads remain).
+TEST(ModelChecker, AbbaLockInversionDeadlocks) {
+  model::Options options;
+  const model::Result result = model::Explore(options, [] {
+    mc::Mutex a;
+    mc::Mutex b;
+    mc::thread t([&] {
+      a.lock();
+      b.lock();
+      b.unlock();
+      a.unlock();
+    });
+    b.lock();
+    a.lock();
+    a.unlock();
+    b.unlock();
+    t.join();
+  });
+  EXPECT_TRUE(result.violation);
+  EXPECT_NE(result.message.find("deadlock"), std::string::npos)
+      << result.message;
+}
+
+// A timed condition-variable wait is a scheduler choice: both the
+// notified path and the timeout path must be explored, and the tree
+// must still be finite (the waiter breaks out on timeout).
+TEST(ModelChecker, TimedWaitExploresNotifyAndTimeout) {
+  int timeout_schedules = 0;
+  int notified_schedules = 0;
+  model::Options options;
+  const model::Result result = model::Explore(options, [&] {
+    mc::Mutex mu;
+    mc::CondVar cv;
+    mc::cell<bool> ready{false};
+    mc::thread producer([&] {
+      mu.lock();
+      ready.set(true);
+      mu.unlock();
+      cv.notify_one();
+    });
+    bool timed_out = false;
+    mu.lock();
+    while (!ready.get()) {
+      if (cv.wait_for(mu, std::chrono::milliseconds(1)) ==
+          std::cv_status::timeout) {
+        timed_out = true;
+        break;
+      }
+    }
+    mu.unlock();
+    if (timed_out) {
+      ++timeout_schedules;
+    } else {
+      ++notified_schedules;
+    }
+    producer.join();
+  });
+  EXPECT_FALSE(result.violation) << result.message;
+  EXPECT_TRUE(result.complete);
+  EXPECT_GT(timeout_schedules, 0);
+  EXPECT_GT(notified_schedules, 0);
+}
+
+// A failed model::Check reports the message and a replay token.
+TEST(ModelChecker, CheckFailureReportsAssertionAndToken) {
+  model::Options options;
+  const model::Result result =
+      model::Explore(options, [] { model::Check(false, "boom"); });
+  EXPECT_TRUE(result.violation);
+  EXPECT_NE(result.message.find("assertion failed: boom"), std::string::npos)
+      << result.message;
+  EXPECT_EQ(result.executions, 1u);
+}
+
+// max_executions caps the exploration and reports incompleteness.
+TEST(ModelChecker, MaxExecutionsBoundsTheSearch) {
+  model::Options options;
+  options.max_executions = 1;
+  const model::Result result = model::Explore(options, [] {
+    mc::atomic<int> x{0};
+    mc::thread t([&] { x.store(1, mc::memory_order_relaxed); });
+    (void)x.load(mc::memory_order_relaxed);
+    t.join();
+  });
+  EXPECT_FALSE(result.violation) << result.message;
+  EXPECT_EQ(result.executions, 1u);
+  EXPECT_FALSE(result.complete);
+}
+
+// Double-lock of a non-recursive mutex by the same thread is reported.
+TEST(ModelChecker, RecursiveLockIsReported) {
+  model::Options options;
+  const model::Result result = model::Explore(options, [] {
+    mc::Mutex mu;
+    mu.lock();
+    mu.lock();
+  });
+  EXPECT_TRUE(result.violation);
+  EXPECT_NE(result.message.find("recursive lock"), std::string::npos)
+      << result.message;
+}
+
+}  // namespace
+}  // namespace monoclass

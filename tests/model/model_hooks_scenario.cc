@@ -1,0 +1,113 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// mc_model scenarios for the PoolHooks publication protocol
+// (src/util/concurrency.cc): hooks are installed with release stores
+// and loaded at the firing sites with acquire loads, which is exactly
+// what makes "install hooks while pool traffic is in flight" safe --
+// the acquire load that observes the new pointer also observes
+// everything the installer published before it.
+//
+//   good       -- the REAL code path: a ThreadPool worker is running
+//                 while a separate thread publishes a payload cell and
+//                 then installs a task_enqueued hook via SetPoolHooks;
+//                 the root thread Submits a task, whose hook firing
+//                 (if the acquire load sees the install) must observe
+//                 the payload race-free. Bounded exploration (three
+//                 threads plus pool machinery).
+//   norelease  -- miniature of the same shape with the publishing
+//                 store downgraded to relaxed: the seeded bug. The
+//                 consumer can observe the table pointer without
+//                 happens-before, so reading the payload is a data
+//                 race the checker must report (WILL_FAIL ctest).
+//   noacquire  -- the firing-site load downgraded to relaxed instead;
+//                 same expected data race from the consumer side.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/scheduler.h"
+#include "scenario_harness.h"
+#include "util/concurrency.h"
+#include "util/sync_model.h"
+
+namespace monoclass {
+namespace {
+
+mc::atomic<int> g_hook_fired{0};
+mc::cell<int> g_hook_payload{0};
+
+void OnTaskEnqueued(std::size_t /*queue_depth*/) {
+  g_hook_fired.fetch_add(1, mc::memory_order_relaxed);
+  // The acquire load of the hook pointer that led here must also have
+  // published the payload written before SetPoolHooks; if it did not,
+  // this read races with the installer's write.
+  model::Check(g_hook_payload.get() == 7,
+               "hook observed the table but not the payload behind it");
+}
+
+void HooksInstallVsFireBody() {
+  internal::SetPoolHooks({});  // reset any install from a prior execution
+  g_hook_payload.set(0);
+  g_hook_fired.store(0, mc::memory_order_relaxed);
+
+  ThreadPool pool(1);
+  mc::thread installer([] {
+    g_hook_payload.set(7);
+    internal::PoolHooks hooks;
+    hooks.task_enqueued = &OnTaskEnqueued;
+    internal::SetPoolHooks(hooks);
+  });
+  pool.Submit([] {});
+  installer.join();
+  // ~pool drains the queue and joins the worker before the execution
+  // ends; whether the hook fired depends on the schedule, and both
+  // outcomes are valid.
+}
+
+// ---------------------------------------------------------------------
+// Miniature publication shape for the seeded-bug variants: a one-entry
+// "hook table" (an atomic flag standing in for the function pointer)
+// guarding a plain payload cell.
+
+void HookTableBody(mc::memory_order store_order, mc::memory_order load_order) {
+  mc::cell<int> payload{0};
+  mc::atomic<uint64_t> table{0};
+  mc::thread installer([&] {
+    payload.set(7);
+    table.store(1, store_order);
+  });
+  if (table.load(load_order) != 0) {
+    model::Check(payload.get() == 7, "consumer saw a half-published hook");
+  }
+  installer.join();
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main(int argc, char** argv) {
+  using monoclass::mc::memory_order_acquire;
+  using monoclass::mc::memory_order_relaxed;
+  using monoclass::mc::memory_order_release;
+  using monoclass::model_test::ScenarioSpec;
+
+  std::map<std::string, ScenarioSpec> specs;
+  ScenarioSpec good;
+  // Three threads plus the pool's own mutex/condvar traffic: too large
+  // to exhaust in CI, so the default is a generous bound. The nightly
+  // sweep lifts it with --max-executions=0.
+  good.options.max_executions = 20000;
+  good.body = monoclass::HooksInstallVsFireBody;
+  specs["good"] = good;
+  specs["publish_good"] = {{}, [] {
+    monoclass::HookTableBody(memory_order_release, memory_order_acquire);
+  }};
+  specs["norelease"] = {{}, [] {
+    monoclass::HookTableBody(memory_order_relaxed, memory_order_acquire);
+  }};
+  specs["noacquire"] = {{}, [] {
+    monoclass::HookTableBody(memory_order_release, memory_order_relaxed);
+  }};
+  return monoclass::model_test::RunScenarioMain(argc, argv, specs);
+}

@@ -1,0 +1,70 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// mc_model scenarios for ThreadPool shutdown semantics
+// (src/util/concurrency.cc): the destructor sets shutdown_ under the
+// mutex, wakes every worker, and workers drain the remaining queue
+// before exiting -- so tasks enqueued before ~ThreadPool must run on
+// every schedule, including those where the worker never woke between
+// Submit and the destructor.
+//
+//   good              -- root submits two tasks to a one-worker pool
+//                        and immediately destroys it; both tasks must
+//                        have run once the destructor returns.
+//   concurrent_submit -- a second thread races its Submit against the
+//                        root's Submit and the worker's drain (the
+//                        destructor still happens after the submitter
+//                        joined, per the pool's contract); both tasks
+//                        must run. Bounded: three threads.
+
+#include "model/scheduler.h"
+#include "scenario_harness.h"
+#include "util/concurrency.h"
+#include "util/sync_model.h"
+
+namespace monoclass {
+namespace {
+
+void ShutdownDrainsQueueBody() {
+  mc::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&ran] { ran.fetch_add(1, mc::memory_order_relaxed); });
+    pool.Submit([&ran] { ran.fetch_add(1, mc::memory_order_relaxed); });
+  }
+  model::Check(ran.load(mc::memory_order_relaxed) == 2,
+               "pool dropped a queued task at shutdown");
+}
+
+void ConcurrentSubmitBody() {
+  mc::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    mc::thread submitter([&] {
+      pool.Submit([&ran] { ran.fetch_add(1, mc::memory_order_relaxed); });
+    });
+    pool.Submit([&ran] { ran.fetch_add(1, mc::memory_order_relaxed); });
+    submitter.join();
+  }
+  model::Check(ran.load(mc::memory_order_relaxed) == 2,
+               "pool lost a concurrently submitted task");
+}
+
+}  // namespace
+}  // namespace monoclass
+
+int main(int argc, char** argv) {
+  using monoclass::model_test::ScenarioSpec;
+
+  std::map<std::string, ScenarioSpec> specs;
+  ScenarioSpec good;
+  good.options.max_executions = 20000;
+  good.body = monoclass::ShutdownDrainsQueueBody;
+  specs["good"] = good;
+
+  ScenarioSpec concurrent;
+  concurrent.options.max_executions = 20000;
+  concurrent.body = monoclass::ConcurrentSubmitBody;
+  specs["concurrent_submit"] = concurrent;
+  return monoclass::model_test::RunScenarioMain(argc, argv, specs);
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Copyright 2026 The monoclass Authors
+# Licensed under the Apache License, Version 2.0.
+#
+# End-to-end check of the deterministic replay contract: run a seeded-
+# bug scenario, harvest the MCSCHED1 token it prints, feed the token
+# back with --replay, and require (a) the same violation verdict, (b) a
+# single execution, and (c) an identical violation report. This is the
+# same loop a developer runs when CI hands them a token.
+#
+# Usage: model_replay_test.sh <scenario-binary> <scenario-name>
+
+set -u
+
+die() { echo "model_replay_test: $*" >&2; exit 1; }
+
+[ $# -eq 2 ] || die "usage: $0 <scenario-binary> <scenario-name>"
+bin=$1
+scenario=$2
+[ -x "$bin" ] || die "not executable: $bin"
+
+first_out=$("$bin" --scenario="$scenario" 2>&1)
+first_rc=$?
+[ "$first_rc" -eq 1 ] || die "expected exit 1 from seeded bug, got $first_rc: $first_out"
+
+token=$(printf '%s\n' "$first_out" | grep -oE 'MCSCHED1:[^ ]*' | head -n 1)
+[ -n "$token" ] || die "no MCSCHED1 token in output: $first_out"
+
+second_out=$("$bin" --scenario="$scenario" --replay="$token" 2>&1)
+second_rc=$?
+[ "$second_rc" -eq 1 ] || die "replay did not reproduce the violation (exit $second_rc): $second_out"
+
+printf '%s\n' "$second_out" | grep -q "after 1 execution" \
+  || die "replay should run exactly one execution: $second_out"
+
+# The report below the per-run header (message + token) must be
+# byte-identical; only the "after N execution(s)" count may differ.
+first_report=$(printf '%s\n' "$first_out" | grep -v '^model\[')
+second_report=$(printf '%s\n' "$second_out" | grep -v '^model\[')
+[ "$first_report" = "$second_report" ] || {
+  echo "--- exploration report ---" >&2
+  printf '%s\n' "$first_report" >&2
+  echo "--- replay report ---" >&2
+  printf '%s\n' "$second_report" >&2
+  die "replay report differs from the original violation"
+}
+
+third_out=$("$bin" --scenario="$scenario" --replay="$token" 2>&1)
+[ "$(printf '%s\n' "$third_out" | grep -v '^model\[')" = "$second_report" ] \
+  || die "two replays of the same token disagree"
+
+echo "model_replay_test: OK (token $token replays deterministically)"

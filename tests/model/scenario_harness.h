@@ -1,0 +1,123 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Shared main() for the mc_model scenario drivers. Each driver
+// registers named scenarios (a body plus default exploration options)
+// and delegates to RunScenarioMain, which provides a common CLI:
+//
+//   --scenario=NAME        which scenario to run (default "good")
+//   --replay=TOKEN         replay one schedule from a violation token
+//   --max-executions=N     override Options::max_executions
+//   --max-steps=N          override Options::max_steps
+//   --preemption-bound=N   override Options::preemption_bound
+//   --list                 print scenario names and exit
+//
+// Exit status is 0 when the exploration finishes without a violation
+// and 1 when the checker finds one, so CMake's WILL_FAIL turns the
+// seeded-bug scenarios into negative tests. On a violation the full
+// report (message + replay token) goes to stdout, and when the
+// MC_MODEL_TOKEN_DIR environment variable names a directory the token
+// is also written to <dir>/<scenario>.token so CI can archive it.
+
+#ifndef MONOCLASS_TESTS_MODEL_SCENARIO_HARNESS_H_
+#define MONOCLASS_TESTS_MODEL_SCENARIO_HARNESS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "model/scheduler.h"
+
+namespace monoclass {
+namespace model_test {
+
+struct ScenarioSpec {
+  model::Options options;
+  std::function<void()> body;
+};
+
+inline bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *value = arg + len;
+  return true;
+}
+
+inline int RunScenarioMain(int argc, char** argv,
+                           const std::map<std::string, ScenarioSpec>& specs) {
+  std::string scenario = "good";
+  std::string replay;
+  std::string value;
+  long long max_executions = -1;
+  long long max_steps = -1;
+  long long preemption_bound = -1000;  // sentinel: not set
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--scenario=", &value)) {
+      scenario = value;
+    } else if (ParseFlag(argv[i], "--replay=", &value)) {
+      replay = value;
+    } else if (ParseFlag(argv[i], "--max-executions=", &value)) {
+      max_executions = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-steps=", &value)) {
+      max_steps = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--preemption-bound=", &value)) {
+      preemption_bound = std::atoll(value.c_str());
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const auto& [name, spec] : specs) std::printf("%s\n", name.c_str());
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const auto it = specs.find(scenario);
+  if (it == specs.end()) {
+    std::fprintf(stderr, "unknown scenario '%s' (--list to enumerate)\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  model::Options options = it->second.options;
+  if (max_executions >= 0) {
+    options.max_executions = static_cast<uint64_t>(max_executions);
+  }
+  if (max_steps >= 0) options.max_steps = static_cast<uint64_t>(max_steps);
+  if (preemption_bound != -1000) {
+    options.preemption_bound = static_cast<int>(preemption_bound);
+  }
+  options.replay_token = replay;
+
+  const model::Result result = model::Explore(options, it->second.body);
+
+  if (result.violation) {
+    std::printf("model[%s]: VIOLATION after %llu execution(s)\n",
+                scenario.c_str(),
+                static_cast<unsigned long long>(result.executions));
+    std::printf("%s\n", result.message.c_str());
+    std::printf("replay: %s\n", result.token.c_str());
+    const char* token_dir = std::getenv("MC_MODEL_TOKEN_DIR");
+    if (token_dir != nullptr && token_dir[0] != '\0') {
+      const std::string path = std::string(token_dir) + "/" + scenario + ".token";
+      std::ofstream out(path);
+      out << result.token << "\n";
+    }
+    return 1;
+  }
+
+  std::printf("model[%s]: OK -- %llu interleaving(s) explored, %s, %llu truncated\n",
+              scenario.c_str(),
+              static_cast<unsigned long long>(result.executions),
+              result.complete ? "schedule tree exhausted" : "bounded",
+              static_cast<unsigned long long>(result.truncated));
+  return 0;
+}
+
+}  // namespace model_test
+}  // namespace monoclass
+
+#endif  // MONOCLASS_TESTS_MODEL_SCENARIO_HARNESS_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Proves the sync seam (util/sync_model.h) costs nothing when
+// MONOCLASS_MODEL is off: the mc:: names must BE the std:: types (not
+// wrappers around them), mc::cell must be layout-identical to its
+// payload, and the model macro must be compiled out. Only built in
+// normal (model-off) configurations -- see tests/CMakeLists.txt.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "util/sync_model.h"
+
+namespace monoclass {
+namespace {
+
+static_assert(MC_MODEL_COMPILED == 0,
+              "model-off build must compile the seam out entirely");
+
+// Aliases, not wrappers: the types are std's own, so codegen and ABI
+// are bit-identical to writing std:: directly.
+static_assert(std::is_same_v<mc::atomic<int>, std::atomic<int>>);
+static_assert(std::is_same_v<mc::atomic<uint64_t>, std::atomic<uint64_t>>);
+static_assert(std::is_same_v<mc::atomic<void (*)(double)>,
+                             std::atomic<void (*)(double)>>);
+static_assert(std::is_same_v<mc::Mutex, std::mutex>);
+static_assert(std::is_same_v<mc::CondVar, std::condition_variable_any>);
+static_assert(std::is_same_v<mc::thread, std::thread>);
+
+// The re-exported memory orders are the std enumerators themselves.
+static_assert(mc::memory_order_relaxed == std::memory_order_relaxed);
+static_assert(mc::memory_order_acquire == std::memory_order_acquire);
+static_assert(mc::memory_order_release == std::memory_order_release);
+static_assert(mc::memory_order_acq_rel == std::memory_order_acq_rel);
+static_assert(mc::memory_order_seq_cst == std::memory_order_seq_cst);
+
+// mc::cell<T> holds exactly a T: no tag, no padding, trivially
+// destructible when T is.
+static_assert(sizeof(mc::cell<int>) == sizeof(int));
+static_assert(sizeof(mc::cell<double>) == sizeof(double));
+static_assert(std::is_trivially_destructible_v<mc::cell<int>>);
+
+TEST(ModelCompileOut, CellIsATransparentValueHolder) {
+  mc::cell<int> cell(3);
+  EXPECT_EQ(cell.get(), 3);
+  cell.set(4);
+  EXPECT_EQ(cell.get(), 4);
+}
+
+TEST(ModelCompileOut, FenceForwardsToStd) {
+  // Smoke: the free function exists and accepts the re-exported orders.
+  mc::atomic_thread_fence(mc::memory_order_acquire);
+  mc::atomic_thread_fence(mc::memory_order_release);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace monoclass

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo-convention lint pass -- thin wrapper around tools/mc_lint.cc, the
-# tokenizing C++ contract checker (rules MC001-MC010; catalog in
+# tokenizing C++ contract checker (rules MC001-MC011; catalog in
 # docs/static_analysis.md and in the header of mc_lint.cc).
 #
 # The historical grep rules lived in this script; they are now compiled

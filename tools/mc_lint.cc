@@ -18,14 +18,15 @@
 //          Apache banner.
 //   MC002  include guards: headers carry the canonical
 //          MONOCLASS_<PATH>_<FILE>_H_ ifndef/define/trailing-endif.
-//   MC003  banned tokens in src/ outside util/check.h: naked assert(),
-//          rand()/srand(), direct abort().
+//   MC003  banned tokens in src/ outside util/check.h and src/model/:
+//          naked assert(), rand()/srand(), direct abort().
 //   MC004  umbrella closure: every header under src/ is reachable from
 //          src/monoclass.h via quoted includes.
 //   MC005  clock discipline: no raw steady_clock::now() outside
 //          src/util/timer.h and src/obs/.
 //   MC006  concurrency discipline: no raw std:: concurrency primitives
-//          outside src/util/concurrency.{h,cc}.
+//          outside src/util/concurrency.{h,cc}, src/util/sync_model.h
+//          and src/model/.
 //   MC007  determinism contract: no range-for over an unordered
 //          container inside a ParallelFor call body (iteration order
 //          would leak hash-table layout into parallel results).
@@ -41,6 +42,11 @@
 //          MC_HISTOGRAM / MC_COUNTER / MC_GAUGE under an mc.lat. name,
 //          and every MC_LATENCY literal must start with "mc.lat."
 //          (one macro, one timing protocol, one quantile pipeline).
+//   MC011  atomics discipline: no raw std::atomic / std::atomic_* /
+//          std::memory_order* outside src/util/sync_model.h (the
+//          model-checker seam) and src/model/ (the checker runtime).
+//          Everything else says mc::atomic / mc::memory_order_*, so a
+//          MONOCLASS_MODEL build can interpose on every access.
 //
 // Output is machine-readable, one violation per line:
 //
@@ -278,6 +284,10 @@ void CheckIncludeGuard(const SourceFile& f) {
 void CheckBannedTokens(const SourceFile& f) {
   if (!StartsWith(f.rel, "src/")) return;
   if (f.rel == "src/util/check.h") return;  // the one sanctioned abort site
+  // The model-checker runtime sits below util/check.h in the layering
+  // (check.h's failure path would have to be modelled) and reports its
+  // own violations before aborting.
+  if (StartsWith(f.rel, "src/model/")) return;
   const auto& t = f.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokKind::kId) continue;
@@ -382,7 +392,11 @@ const std::set<std::string>& BannedConcurrencyNames() {
 
 void CheckConcurrencyDiscipline(const SourceFile& f) {
   if (f.rel == "src/util/concurrency.h" ||
-      f.rel == "src/util/concurrency.cc") {
+      f.rel == "src/util/concurrency.cc" ||
+      f.rel == "src/util/sync_model.h" ||  // the seam wraps the primitives
+      StartsWith(f.rel, "src/model/") ||   // the checker schedules with them
+      // Proves mc:: aliases ARE the std types, so it must name both.
+      f.rel == "tests/model_compile_out_test.cc") {
     return;
   }
   const auto& t = f.tokens;
@@ -394,6 +408,43 @@ void CheckConcurrencyDiscipline(const SourceFile& f) {
            "raw standard-library concurrency primitive -- use "
            "Mutex/MutexLock/CondVar/ThreadPool/ParallelFor from "
            "util/concurrency.h");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// MC011: atomics discipline.
+//
+// Every atomic access in the tree must go through the mc:: seam
+// (util/sync_model.h) so that a MONOCLASS_MODEL build can route loads,
+// stores and RMWs through the model-checker scheduler. A raw
+// std::atomic is invisible to the checker: the scenario still passes,
+// but the interleavings touching that location were never explored.
+// Only the seam itself and the checker runtime may name the real thing.
+
+void CheckAtomicsDiscipline(const SourceFile& f) {
+  if (f.rel == "src/util/sync_model.h" || StartsWith(f.rel, "src/model/") ||
+      // Proves mc:: aliases ARE the std types, so it must name both.
+      f.rel == "tests/model_compile_out_test.cc") {
+    return;
+  }
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kId || t[i].text != "std" ||
+        t[i + 1].text != "::" || t[i + 2].kind != TokKind::kId) {
+      continue;
+    }
+    const std::string& name = t[i + 2].text;
+    const bool atomic_name = name == "atomic" ||
+                             StartsWith(name, "atomic_");  // _flag, _ref,
+                                                           // _thread_fence...
+    const bool order_name = StartsWith(name, "memory_order");
+    if (atomic_name || order_name) {
+      Emit(f.rel, t[i].line, "MC011",
+           "raw std::" + name +
+               " bypasses the model-checker seam -- use mc::atomic / "
+               "mc::memory_order_* / mc::atomic_thread_fence from "
+               "util/sync_model.h");
     }
   }
 }
@@ -791,7 +842,7 @@ int main(int argc, char** argv) {
     if (arg == "-h" || arg == "--help") {
       std::cout << "usage: mc_lint [REPO_ROOT]\n"
                    "Checks the monoclass repo conventions (rules "
-                   "MC001-MC010); see docs/static_analysis.md.\n";
+                   "MC001-MC011); see docs/static_analysis.md.\n";
       return 0;
     }
     root = fs::path(std::string(arg));
@@ -832,6 +883,7 @@ int main(int argc, char** argv) {
     CheckBannedTokens(f);
     CheckClockDiscipline(f);
     CheckConcurrencyDiscipline(f);
+    CheckAtomicsDiscipline(f);
     CheckParallelForDeterminism(f);
     CheckObsNaming(f);
     CheckLatencyDiscipline(f);

@@ -153,6 +153,51 @@ sed -i 's|#include "util/good.h"|#include "util/good.h"\n#include "util/concurre
   "$tmp/tree/src/monoclass.h"
 expect_clean "std::mutex inside util/concurrency.h + std::this_thread elsewhere"
 
+# --- MC011: atomics discipline ------------------------------------------
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline std::atomic<int> g_count{0};/' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "library code declaring a raw std::atomic" MC011
+
+make_clean_tree
+sed -i 's/int kNothing = 0;/inline void Fence() { std::atomic_thread_fence(std::memory_order_release); }/' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "library code issuing a raw std::atomic_thread_fence" MC011
+
+# Covers tests/ too: a raw atomic in a test escapes the model checker
+# just as thoroughly as one in src/.
+make_clean_tree
+mkdir -p "$tmp/tree/tests"
+header_boilerplate MONOCLASS_TESTS_COUNTY_H_ > "$tmp/tree/tests/county.h"
+sed -i 's/int kNothing = 0;/inline std::atomic<int> g_seen{0};/' \
+  "$tmp/tree/tests/county.h"
+expect_rule "test code declaring a raw std::atomic" MC011
+
+# Near-miss negatives: the seam file itself is sanctioned, mc:: spellings
+# are the whole point, and tokens inside comments/strings never fire.
+make_clean_tree
+header_boilerplate MONOCLASS_UTIL_SYNC_MODEL_H_ \
+  > "$tmp/tree/src/util/sync_model.h"
+sed -i 's/int kNothing = 0;/inline std::atomic<int> g_real{0};/' \
+  "$tmp/tree/src/util/sync_model.h"
+sed -i 's|#include "util/good.h"|#include "util/good.h"\n#include "util/sync_model.h"|' \
+  "$tmp/tree/src/monoclass.h"
+expect_clean "std::atomic inside util/sync_model.h (the seam itself)"
+
+make_clean_tree
+mkdir -p "$tmp/tree/src/model"
+header_boilerplate MONOCLASS_MODEL_SCHED_H_ > "$tmp/tree/src/model/sched.h"
+sed -i 's/int kNothing = 0;/inline std::atomic<bool> g_stop{false};/' \
+  "$tmp/tree/src/model/sched.h"
+sed -i 's|#include "util/good.h"|#include "util/good.h"\n#include "model/sched.h"|' \
+  "$tmp/tree/src/monoclass.h"
+expect_clean "std::atomic inside src/model/ (the checker runtime)"
+
+make_clean_tree
+sed -i 's|int kNothing = 0;|// std::atomic is banned here\nconst char* kNote = "use std::memory_order_acquire";\ninline mc::atomic<int> g_ok{0};\ninline void F() { mc::atomic_thread_fence(mc::memory_order_release); }|' \
+  "$tmp/tree/src/util/good.h"
+expect_clean "mc:: spellings plus std::atomic mentioned in comment/string"
+
 # --- MC007: determinism inside ParallelFor ------------------------------
 make_clean_tree
 cat >> "$tmp/tree/src/util/good.h.body" <<'EOF'

@@ -139,6 +139,47 @@ printf 'NOTFLIGH' > "$tmp/garbage.flight"
 expect_fail "a dump with a wrong magic" "" \
   "$mc_report" --flight "$tmp/garbage.flight"
 
+# Regression fixtures for the reserve-before-read hazard: ReadFlightDump
+# must fail fast on claims the stream cannot back, without allocating on
+# the say-so of a corrupt header.
+: > "$tmp/empty.flight"
+expect_fail "an empty dump" "bad magic" \
+  "$mc_report" --flight "$tmp/empty.flight"
+
+printf 'MCFLIGHT' > "$tmp/headerless.flight"
+expect_fail "a dump cut off after the magic" "version" \
+  "$mc_report" --flight "$tmp/headerless.flight"
+
+# magic + v1 + name_count=1 + name_len=16, then only 4 of the 16 bytes.
+printf 'MCFLIGHT\x01\x00\x00\x00\x01\x00\x00\x00\x10\x00\x00\x00abcd' \
+  > "$tmp/truncated_names.flight"
+expect_fail "a dump with a truncated name table" "truncated name table" \
+  "$mc_report" --flight "$tmp/truncated_names.flight"
+
+# Valid empty name table and counters, then an event-count header of
+# 2^40: over the decoder's cap, must be rejected before any reserve.
+{
+  printf 'MCFLIGHT\x01\x00\x00\x00\x00\x00\x00\x00'
+  printf '\x00\x00\x00\x00\x00\x00\x00\x00'  # overwritten
+  printf '\x00\x00\x00\x00\x00\x00\x00\x00'  # torn
+  printf '\x00\x00\x00\x00\x00\x01\x00\x00'  # 2^40 events
+} > "$tmp/absurd_count.flight"
+expect_fail "a dump claiming 2^40 events" "corrupt event count" \
+  "$mc_report" --flight "$tmp/absurd_count.flight"
+
+# A million claimed events (within the cap) backed by zero bytes: the
+# historical hazard was a multi-GiB reserve here before the first read
+# could fail.
+{
+  printf 'MCFLIGHT\x01\x00\x00\x00\x00\x00\x00\x00'
+  printf '\x00\x00\x00\x00\x00\x00\x00\x00'  # overwritten
+  printf '\x00\x00\x00\x00\x00\x00\x00\x00'  # torn
+  printf '\x40\x42\x0f\x00\x00\x00\x00\x00'  # 1e6 events, no event bytes
+} > "$tmp/truncated_events.flight"
+expect_fail "a dump with a bare million-event header" \
+  "truncated event stream" \
+  "$mc_report" --flight "$tmp/truncated_events.flight"
+
 # --- end to end against a real bench run --------------------------------
 
 bench="${MC_BENCH_MAXFLOW:-}"
