@@ -38,6 +38,9 @@ class ChainOracleView final : public LabelOracle {
     }
     return shared_->Probe(index);
   }
+  void Prefetch(const std::vector<size_t>& indices) override {
+    shared_->Prefetch(indices);
+  }
   size_t NumPoints() const override { return revealed_.size(); }
   size_t NumProbes() const override { return distinct_probes_; }
   size_t NumProbeCalls() const override { return probe_calls_; }

@@ -67,8 +67,16 @@ class OneDSolver {
  private:
   // Probes every position of the level and appends weight-1 entries
   // (the |P| <= 7 base case and the "sample size >= level size" fallback;
-  // both make the level's contribution to f exact).
+  // both make the level's contribution to f exact). The whole batch is
+  // announced through Prefetch before the first label is read, so a
+  // replaying oracle (net/session.h) can request the round in one
+  // round-trip.
   void ProbeEntireLevel(const std::vector<size_t>& level) {
+    std::vector<size_t> batch(level.size());
+    for (size_t i = 0; i < level.size(); ++i) {
+      batch[i] = point_indices_[level[i]];
+    }
+    oracle_.Prefetch(batch);
     for (const size_t pos : level) {
       AppendEntry(pos, 1.0);
     }
@@ -81,16 +89,28 @@ class OneDSolver {
   }
 
   // Draws `count` positions with replacement from `level`, probing each.
+  // All positions are drawn before any label is read -- within a round
+  // the draw sequence never depends on oracle answers -- so the batch
+  // can be announced through Prefetch and the RNG stream is identical
+  // whether the oracle answers locally or over a round-trip.
   std::vector<LabeledDraw> SampleLevel(const std::vector<size_t>& level,
                                 size_t count) {
     MC_COUNTER("active.one_d.sampling_rounds", 1);
     MC_HISTOGRAM("active.one_d.sample_size", count);
-    std::vector<LabeledDraw> draws(count);
-    for (auto& draw : draws) {
+    std::vector<size_t> positions(count);
+    std::vector<size_t> batch(count);
+    for (size_t i = 0; i < count; ++i) {
       const size_t pos =
           level[static_cast<size_t>(rng_.UniformInt(level.size()))];
-      draw.coordinate = coordinates_[pos];
-      draw.label = oracle_.Probe(point_indices_[pos]);
+      positions[i] = pos;
+      batch[i] = point_indices_[pos];
+    }
+    oracle_.Prefetch(batch);
+    std::vector<LabeledDraw> draws(count);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t pos = positions[i];
+      draws[i].coordinate = coordinates_[pos];
+      draws[i].label = oracle_.Probe(point_indices_[pos]);
       last_sample_positions_.push_back(pos);
     }
     return draws;

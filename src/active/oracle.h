@@ -35,6 +35,16 @@ class LabelOracle {
   // oracle already revealed that point.
   virtual Label Probe(size_t index) = 0;
 
+  // Announces that the points in `indices` are about to be probed, in
+  // order, before any of their labels influence control flow. The solver
+  // calls this once per probing round with the whole batch; oracles that
+  // answer probes remotely (net/session.h replays a solve against a
+  // client-supplied answer set) use the hook to discover the next batch
+  // to request. In-memory oracles ignore it; it never counts as a probe.
+  virtual void Prefetch(const std::vector<size_t>& indices) {
+    (void)indices;
+  }
+
   // Number of points in the underlying set.
   virtual size_t NumPoints() const = 0;
 
@@ -116,6 +126,11 @@ class SynchronizedOracle final : public LabelOracle {
   Label Probe(size_t index) override MC_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return inner_->Probe(index);
+  }
+  void Prefetch(const std::vector<size_t>& indices) override
+      MC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    inner_->Prefetch(indices);
   }
   size_t NumPoints() const override MC_EXCLUDES(mu_) {
     MutexLock lock(mu_);

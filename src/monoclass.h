@@ -50,6 +50,15 @@
 #include "data/synthetic.h"
 #include "io/serialization.h"
 
+// Serving: framed wire protocol, resumable sessions, monoclassd server
+// core and blocking client (see docs/serving.md).
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/session.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
 // Observability: metrics registry, trace spans, probe-budget accounting
 // (see docs/observability.md).
 #include "obs/flight.h"

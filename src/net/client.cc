@@ -1,0 +1,147 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+
+#include "net/client.h"
+
+namespace monoclass {
+namespace net {
+
+bool Client::Connect(const std::string& host, uint16_t port) {
+  socket_ = ConnectTcp(host, port);
+  return socket_.valid();
+}
+
+void Client::Disconnect() { socket_.Close(); }
+
+Frame Client::RoundTrip(MessageType type, const WireStream& payload) {
+  if (!socket_.valid()) throw WireError("client is not connected");
+  Frame request;
+  request.type = static_cast<uint16_t>(type);
+  request.request_id = next_request_id_++;
+  request.payload = payload.bytes();
+  if (!SendFrame(socket_, request)) {
+    throw WireError("failed to send request frame");
+  }
+  std::optional<Frame> response = RecvFrame(socket_);
+  if (!response.has_value()) {
+    throw WireError("connection closed awaiting response");
+  }
+  if (response->request_id != request.request_id) {
+    throw WireError("response id does not match request");
+  }
+  if (response->type == static_cast<uint16_t>(MessageType::kError)) {
+    WireStream in(std::move(response->payload));
+    const ErrorMessage error = ErrorMessage::Unserialize(in);
+    throw WireError("server error " + std::to_string(error.code) + ": " +
+                    error.message);
+  }
+  return std::move(*response);
+}
+
+uint64_t Client::Ping(uint64_t nonce) {
+  PingMessage ping;
+  ping.nonce = nonce;
+  WireStream out;
+  ping.Serialize(out);
+  Frame response = RoundTrip(MessageType::kPing, out);
+  if (response.type != static_cast<uint16_t>(MessageType::kPong)) {
+    throw WireError("unexpected ping response type");
+  }
+  WireStream in(std::move(response.payload));
+  const PingMessage pong = PingMessage::Unserialize(in);
+  in.ExpectEnd();
+  return pong.nonce;
+}
+
+PassiveSolveResult Client::PassiveSolve(const PassiveSolveRequest& request) {
+  WireStream out;
+  request.Serialize(out);
+  Frame response = RoundTrip(MessageType::kPassiveSolveRequest, out);
+  if (response.type != static_cast<uint16_t>(MessageType::kPassiveSolveResult)) {
+    throw WireError("unexpected passive solve response type");
+  }
+  WireStream in(std::move(response.payload));
+  PassiveSolveResult result = PassiveSolveResult::Unserialize(in);
+  in.ExpectEnd();
+  return result;
+}
+
+Client::SessionState Client::ParseSessionReply(const Frame& frame) {
+  SessionState state;
+  WireStream in(frame.payload);
+  if (frame.type == static_cast<uint16_t>(MessageType::kSessionProbe)) {
+    SessionProbeMessage probe = SessionProbeMessage::Unserialize(in);
+    in.ExpectEnd();
+    state.session_id = probe.session_id;
+    state.done = false;
+    state.probe_indices = std::move(probe.indices);
+  } else if (frame.type ==
+             static_cast<uint16_t>(MessageType::kSessionResult)) {
+    SessionResultMessage result = SessionResultMessage::Unserialize(in);
+    in.ExpectEnd();
+    state.session_id = result.session_id;
+    state.done = true;
+    state.result = std::move(result);
+  } else {
+    throw WireError("unexpected session response type");
+  }
+  return state;
+}
+
+Client::SessionState Client::OpenSession(const SessionOpenRequest& request) {
+  WireStream out;
+  request.Serialize(out);
+  const Frame response = RoundTrip(MessageType::kSessionOpen, out);
+  return ParseSessionReply(response);
+}
+
+Client::SessionState Client::StepSession(uint64_t session_id,
+                                         const std::vector<uint64_t>& indices,
+                                         const std::vector<uint8_t>& labels) {
+  SessionStepRequest request;
+  request.session_id = session_id;
+  request.indices = indices;
+  request.labels = labels;
+  WireStream out;
+  request.Serialize(out);
+  const Frame response = RoundTrip(MessageType::kSessionStep, out);
+  return ParseSessionReply(response);
+}
+
+bool Client::CloseSession(uint64_t session_id) {
+  SessionCloseRequest request;
+  request.session_id = session_id;
+  WireStream out;
+  request.Serialize(out);
+  Frame response = RoundTrip(MessageType::kSessionClose, out);
+  if (response.type != static_cast<uint16_t>(MessageType::kSessionClosed)) {
+    throw WireError("unexpected session close response type");
+  }
+  WireStream in(std::move(response.payload));
+  const SessionClosedMessage closed = SessionClosedMessage::Unserialize(in);
+  in.ExpectEnd();
+  return closed.existed != 0;
+}
+
+StatsResponse Client::FetchStats() {
+  WireStream out;
+  Frame response = RoundTrip(MessageType::kStatsRequest, out);
+  if (response.type != static_cast<uint16_t>(MessageType::kStatsResponse)) {
+    throw WireError("unexpected stats response type");
+  }
+  WireStream in(std::move(response.payload));
+  StatsResponse stats = StatsResponse::Unserialize(in);
+  in.ExpectEnd();
+  return stats;
+}
+
+void Client::Shutdown() {
+  WireStream out;
+  const Frame response = RoundTrip(MessageType::kShutdown, out);
+  if (response.type != static_cast<uint16_t>(MessageType::kShutdown)) {
+    throw WireError("unexpected shutdown response type");
+  }
+}
+
+}  // namespace net
+}  // namespace monoclass

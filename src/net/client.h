@@ -1,0 +1,77 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Blocking client for the monoclassd protocol (docs/serving.md). One
+// Client owns one connection and is NOT thread-safe -- the load
+// generator gives each worker its own Client. Every call is one framed
+// request/response round-trip; a server-side ErrorMessage surfaces as a
+// thrown WireError carrying the server's code and text, and transport
+// failures (connection reset, malformed frame) throw as well, so the
+// caller can count protocol errors in one catch.
+
+#ifndef MONOCLASS_NET_CLIENT_H_
+#define MONOCLASS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace monoclass {
+namespace net {
+
+class Client {
+ public:
+  Client() = default;
+
+  // Connects to a running server. False on refusal.
+  bool Connect(const std::string& host, uint16_t port);
+  bool connected() const { return socket_.valid(); }
+  void Disconnect();
+
+  // Round-trips a ping; returns the echoed nonce.
+  uint64_t Ping(uint64_t nonce);
+
+  PassiveSolveResult PassiveSolve(const PassiveSolveRequest& request);
+
+  // Opens a session. Fills either `probe` (the first batch; `done` =
+  // false) or `result` (degenerate one-shot completion; `done` = true).
+  struct SessionState {
+    uint64_t session_id = 0;
+    bool done = false;
+    std::vector<uint64_t> probe_indices;
+    SessionResultMessage result;
+  };
+  SessionState OpenSession(const SessionOpenRequest& request);
+
+  // Answers (a subset of) the pending probe batch. Empty answers resume
+  // an interrupted session: the server re-sends the pending batch.
+  SessionState StepSession(uint64_t session_id,
+                           const std::vector<uint64_t>& indices,
+                           const std::vector<uint8_t>& labels);
+
+  // True iff the session still existed server-side.
+  bool CloseSession(uint64_t session_id);
+
+  StatsResponse FetchStats();
+
+  // Asks the daemon to exit (honored unless disabled server-side).
+  void Shutdown();
+
+ private:
+  // Sends `payload` as `type` and returns the response frame, throwing
+  // WireError on transport failure, response-id mismatch, or a kError
+  // response (except when the caller opts to handle it).
+  Frame RoundTrip(MessageType type, const WireStream& payload);
+  SessionState ParseSessionReply(const Frame& frame);
+
+  Socket socket_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace monoclass
+
+#endif  // MONOCLASS_NET_CLIENT_H_

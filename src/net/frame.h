@@ -1,0 +1,83 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Length-prefixed, versioned, checksummed binary framing for the
+// monoclassd protocol. One frame carries one message:
+//
+//   offset  size  field
+//   ------  ----  --------------------------------------------------
+//        0     4  magic "MCF1" (0x4D 0x43 0x46 0x31)
+//        4     2  protocol version, little-endian u16 (currently 1)
+//        6     2  message type, little-endian u16 (net/wire.h)
+//        8     8  request id, little-endian u64 (echoed in responses)
+//       16     4  payload length n, little-endian u32, n <= 64 MiB
+//       20     n  payload (WireStream-encoded message)
+//     20+n     4  CRC-32 (IEEE 802.3) of the payload, little-endian
+//
+// Total frame size is kFrameOverheadBytes + n. Decoding is incremental
+// (TryDecodeFrame reports "need more bytes" for a truncated prefix) and
+// strict: a wrong magic, an unsupported version, an unknown type, an
+// oversized length or a checksum mismatch raises net::WireError before
+// any payload-sized allocation happens. See docs/serving.md for the
+// full protocol specification.
+
+#ifndef MONOCLASS_NET_FRAME_H_
+#define MONOCLASS_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace monoclass {
+namespace net {
+
+inline constexpr uint8_t kFrameMagic[4] = {0x4D, 0x43, 0x46, 0x31};  // MCF1
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+inline constexpr size_t kFrameOverheadBytes = kFrameHeaderBytes + 4;  // + CRC
+inline constexpr uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) -- the zlib
+// polynomial, table-driven.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+struct Frame {
+  uint16_t type = 0;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct FrameHeader {
+  uint16_t version = 0;
+  uint16_t type = 0;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+// Validates magic/version/type/length and parses the fixed 20-byte
+// header. `data` must point at kFrameHeaderBytes readable bytes.
+// Throws WireError on any violation.
+FrameHeader DecodeFrameHeader(const uint8_t* data);
+
+// Serializes a complete frame. Throws WireError when the payload
+// exceeds kMaxFramePayloadBytes.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+// Incremental decode from the front of `buffer`:
+//   - returns a Frame and sets `consumed` when a full valid frame is
+//     present;
+//   - returns nullopt (consumed = 0) when the prefix is valid so far
+//     but incomplete;
+//   - throws WireError when the prefix can never become a valid frame
+//     (bad magic, version skew, unknown type, oversized length, or a
+//     checksum mismatch).
+std::optional<Frame> TryDecodeFrame(const std::vector<uint8_t>& buffer,
+                                    size_t* consumed);
+
+}  // namespace net
+}  // namespace monoclass
+
+#endif  // MONOCLASS_NET_FRAME_H_

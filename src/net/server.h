@@ -1,0 +1,111 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// Embeddable monoclassd server core (docs/serving.md).
+//
+// One acceptor thread hands each connection to a dedicated reader
+// thread; every decoded frame becomes a task on a shared ThreadPool, so
+// CPU-bound solves from many connections multiplex over a bounded
+// worker set while the readers stay cheap. Requests on one connection
+// are handled in order (the reader waits for the handler before reading
+// the next frame); sessions live in a SessionManager keyed by u64 ids,
+// so a client may drop its connection and resume a session from a new
+// one. All synchronization goes through the mc:: seam
+// (util/concurrency.h), keeping the model checker applicable.
+//
+// tools/monoclassd.cc is the thin daemon main around this class;
+// tests/net_server_test.cc embeds it in-process.
+
+#ifndef MONOCLASS_NET_SERVER_H_
+#define MONOCLASS_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/session.h"
+#include "net/socket.h"
+#include "util/concurrency.h"
+#include "util/sync_model.h"
+
+namespace monoclass {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read back via Server::port()
+  // Worker pool sizing for frame handlers (ParallelOptions semantics:
+  // 0 = hardware concurrency).
+  ParallelOptions parallel;
+  SessionManager::Config sessions;
+  // Honor kShutdown frames (the load generator's clean-exit path).
+  // Disable to ignore them, e.g. for a shared long-lived daemon.
+  bool allow_remote_shutdown = true;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and starts the acceptor. False on bind failure.
+  bool Start();
+
+  // The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  // Blocks until Stop() is called or a remote shutdown frame arrives.
+  void Wait();
+
+  // Stops accepting, unblocks every connection and joins all threads.
+  // Idempotent; safe to call from any thread except a handler.
+  void Stop();
+
+  SessionManager& sessions() { return sessions_; }
+
+ private:
+  struct Connection {
+    Socket socket;
+    Mutex write_mu;
+    mc::thread reader;
+    bool done = false;  // guarded by Server::conn_mu_
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* connection);
+  // Decodes, dispatches and answers one frame. Returns false when the
+  // connection must close (protocol error already reported).
+  bool HandleFrame(Connection* connection, const Frame& frame);
+  void SendStepOutcome(Connection* connection, uint64_t request_id,
+                       uint64_t session_id,
+                       const Session::StepOutcome& outcome);
+  void SendOnConnection(Connection* connection, const Frame& frame);
+  void SendError(Connection* connection, uint64_t request_id, uint32_t code,
+                 const std::string& message);
+  void RequestStop();
+
+  const ServerOptions options_;
+  SessionManager sessions_;
+  ThreadPool pool_;
+  Listener listener_;
+  uint16_t port_ = 0;
+
+  Mutex state_mu_;
+  CondVar state_cv_;
+  bool running_ MC_GUARDED_BY(state_mu_) = false;
+  bool stop_requested_ MC_GUARDED_BY(state_mu_) = false;
+
+  mc::thread acceptor_;
+  Mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      MC_GUARDED_BY(conn_mu_);
+};
+
+}  // namespace net
+}  // namespace monoclass
+
+#endif  // MONOCLASS_NET_SERVER_H_

@@ -1,0 +1,231 @@
+// Copyright 2026 The monoclass Authors
+// Licensed under the Apache License, Version 2.0.
+//
+// In-process end-to-end tests: a real Server bound to an ephemeral
+// loopback port, driven by the blocking Client over actual sockets.
+// Covers the request/response surface (ping, passive solve, full
+// sessions, stats, close, shutdown), cross-connection session resume,
+// and the error paths a remote peer can trigger.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "active/multi_d.h"
+#include "active/oracle.h"
+#include "active/params.h"
+#include "data/synthetic.h"
+#include "net/client.h"
+#include "obs/obs.h"
+#include "passive/flow_solver.h"
+#include "test_util.h"
+
+namespace monoclass {
+namespace net {
+namespace {
+
+LabeledPointSet MakeInstance(size_t n, uint64_t seed) {
+  PlantedOptions options;
+  options.num_points = n;
+  options.dimension = 2;
+  options.noise_flips = n / 10;
+  options.seed = seed;
+  return GeneratePlanted(options).data;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.parallel.threads = 2;
+    options.sessions.ttl_ms = 0;
+    server_ = std::make_unique<Server>(options);
+    ASSERT_TRUE(server_->Start());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", server_->port()));
+  }
+
+  void TearDown() override {
+    client_.Disconnect();
+    server_->Stop();
+  }
+
+  std::unique_ptr<Server> server_;
+  Client client_;
+};
+
+TEST_F(ServerTest, PingEchoesNonce) {
+  EXPECT_EQ(client_.Ping(0xC0FFEE), 0xC0FFEEu);
+  EXPECT_EQ(client_.Ping(7), 7u);
+}
+
+TEST_F(ServerTest, PassiveSolveMatchesLocalSolve) {
+  const LabeledPointSet instance = MakeInstance(60, 5);
+  PassiveSolveRequest request;
+  request.points = instance.points();
+  request.labels = instance.labels();
+  const PassiveSolveResult remote = client_.PassiveSolve(request);
+
+  const ::monoclass::PassiveSolveResult local =
+      SolvePassiveUnweighted(instance, PassiveSolveOptions{});
+  EXPECT_EQ(remote.optimal_weighted_error, local.optimal_weighted_error);
+  EXPECT_EQ(remote.classifier.generators(), local.classifier.generators());
+}
+
+TEST_F(ServerTest, FullSessionOverTheWireMatchesLocalActiveSolve) {
+  const uint64_t seed = 9;
+  const LabeledPointSet instance = MakeInstance(64, 21);
+
+  SessionOpenRequest open;
+  open.points = instance.points();
+  open.seed = seed;
+  open.epsilon = 0.5;
+  open.delta = 0.01;
+  Client::SessionState state = client_.OpenSession(open);
+  while (!state.done) {
+    std::vector<uint8_t> labels(state.probe_indices.size());
+    for (size_t i = 0; i < state.probe_indices.size(); ++i) {
+      labels[i] =
+          instance.label(static_cast<size_t>(state.probe_indices[i]));
+    }
+    state = client_.StepSession(state.session_id, state.probe_indices,
+                                labels);
+  }
+
+  InMemoryOracle oracle(instance);
+  ActiveSolveOptions reference_options;
+  reference_options.sampling = ActiveSamplingParams::Practical(0.5, 0.01);
+  reference_options.seed = seed;
+  reference_options.parallel.threads = 1;
+  const ActiveSolveResult reference =
+      SolveActiveMultiD(instance.points(), oracle, reference_options);
+
+  EXPECT_EQ(state.result.classifier.generators(),
+            reference.classifier.generators());
+  EXPECT_EQ(state.result.probes, reference.probes);
+}
+
+TEST_F(ServerTest, SessionResumesAcrossConnections) {
+  const LabeledPointSet instance = MakeInstance(64, 33);
+  SessionOpenRequest open;
+  open.points = instance.points();
+  open.seed = 4;
+  Client::SessionState state = client_.OpenSession(open);
+  ASSERT_FALSE(state.done);
+  const uint64_t session_id = state.session_id;
+  const std::vector<uint64_t> pending = state.probe_indices;
+
+  // Drop the connection mid-session; a second client picks the session
+  // back up and asks for the pending batch with an empty answer set.
+  client_.Disconnect();
+  Client second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", server_->port()));
+  state = second.StepSession(session_id, {}, {});
+  ASSERT_FALSE(state.done);
+  EXPECT_EQ(state.probe_indices, pending);
+
+  while (!state.done) {
+    std::vector<uint8_t> labels(state.probe_indices.size());
+    for (size_t i = 0; i < state.probe_indices.size(); ++i) {
+      labels[i] =
+          instance.label(static_cast<size_t>(state.probe_indices[i]));
+    }
+    state = second.StepSession(session_id, state.probe_indices, labels);
+  }
+  EXPECT_GT(state.result.probes, 0u);
+  second.Disconnect();
+}
+
+TEST_F(ServerTest, UnknownSessionIsAnError) {
+  try {
+    client_.StepSession(999999, {}, {});
+    FAIL() << "expected WireError";
+  } catch (const WireError& error) {
+    EXPECT_NE(std::string(error.what()).find("unknown session"),
+              std::string::npos);
+  }
+  // The error is a response, not a connection teardown.
+  EXPECT_EQ(client_.Ping(1), 1u);
+}
+
+TEST_F(ServerTest, CloseSessionReportsExistence) {
+  const LabeledPointSet instance = MakeInstance(32, 41);
+  SessionOpenRequest open;
+  open.points = instance.points();
+  open.seed = 2;
+  const Client::SessionState state = client_.OpenSession(open);
+  ASSERT_FALSE(state.done);
+  EXPECT_TRUE(client_.CloseSession(state.session_id));
+  EXPECT_FALSE(client_.CloseSession(state.session_id));
+  EXPECT_EQ(server_->sessions().NumActive(), 0u);
+}
+
+TEST_F(ServerTest, MalformedPayloadGetsErrorReply) {
+  // A valid frame carrying an invalid request (an empty point set),
+  // sent over a raw transport so the client-side validation in
+  // Client::OpenSession cannot get in the way.
+  Socket raw = ConnectTcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(raw.valid());
+  WireStream payload;
+  // Hand-encode SessionOpenRequest: dimension 1, zero points, then the
+  // scalar tail (seed, epsilon, delta, algorithm).
+  payload.WriteU32(1);
+  payload.WriteU32(0);
+  payload.WriteU64(1);
+  payload.WriteF64(0.5);
+  payload.WriteF64(0.01);
+  payload.WriteU8(0);
+  Frame frame;
+  frame.type = static_cast<uint16_t>(MessageType::kSessionOpen);
+  frame.request_id = 77;
+  frame.payload = payload.bytes();
+  ASSERT_TRUE(SendFrame(raw, frame));
+  const std::optional<Frame> reply = RecvFrame(raw);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, static_cast<uint16_t>(MessageType::kError));
+  EXPECT_EQ(reply->request_id, 77u);
+  WireStream in(reply->payload);
+  const ErrorMessage error = ErrorMessage::Unserialize(in);
+  EXPECT_EQ(error.code, static_cast<uint32_t>(WireErrorCode::kBadRequest));
+  raw.Close();
+}
+
+TEST_F(ServerTest, StatsReportServerCounters) {
+  // Counters only record when obs is on (monoclassd enables it at boot).
+  obs::SetEnabled(true);
+  client_.Ping(1);
+  const StatsResponse stats = client_.FetchStats();
+  obs::SetEnabled(false);
+  uint64_t requests = 0;
+  for (const auto& [name, value] : stats.counters) {
+    if (name == "mc.srv.requests") requests = value;
+  }
+  EXPECT_GE(requests, 1u);
+}
+
+TEST_F(ServerTest, RemoteShutdownUnblocksWait) {
+  client_.Shutdown();
+  server_->Wait();  // must return promptly instead of hanging
+  SUCCEED();
+}
+
+TEST(ServerNoRemoteShutdownTest, ShutdownFrameIsIgnoredWhenDisabled) {
+  ServerOptions options;
+  options.port = 0;
+  options.allow_remote_shutdown = false;
+  options.sessions.ttl_ms = 0;
+  Server server(options);
+  ASSERT_TRUE(server.Start());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  client.Shutdown();          // acked but not honored
+  EXPECT_EQ(client.Ping(3), 3u);  // still serving
+  client.Disconnect();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace monoclass

@@ -47,6 +47,13 @@
 //          model-checker seam) and src/model/ (the checker runtime).
 //          Everything else says mc::atomic / mc::memory_order_*, so a
 //          MONOCLASS_MODEL build can interpose on every access.
+//   MC012  network discipline: the raw socket surface -- the socket(2)
+//          call family, ::read/::write on file descriptors, the
+//          ntohl/htonl byte-order family, and <sys/socket.h>-family
+//          includes -- is confined to src/net/socket.{h,cc}. Everyone
+//          else speaks net::Socket, SendFrame/RecvFrame and WireStream,
+//          so endianness, EINTR retry, and the server's mc.srv.* frame
+//          accounting have exactly one implementation.
 //
 // Output is machine-readable, one violation per line:
 //
@@ -450,6 +457,84 @@ void CheckAtomicsDiscipline(const SourceFile& f) {
 }
 
 // ---------------------------------------------------------------------
+// MC012: network discipline.
+//
+// The entire byte-level syscall surface of the wire protocol lives in
+// src/net/socket.{h,cc}: one place owns endianness, EINTR retries,
+// partial reads, and FD lifetimes. A raw socket(2)/send(2) call or an
+// ntohl() conversion anywhere else would fork that logic and bypass
+// both the server's mc.srv.* frame accounting and the fuzz_frame
+// attack surface, so everyone else speaks net::Socket / SendFrame /
+// RecvFrame / WireStream.
+
+const std::set<std::string>& BannedNetworkCalls() {
+  static const std::set<std::string> kBanned = {
+      // the socket(2) call family
+      "socket", "connect", "bind", "listen", "accept", "accept4", "send",
+      "recv", "sendto", "recvfrom", "shutdown", "setsockopt", "getsockopt",
+      "getsockname", "getpeername", "getaddrinfo", "freeaddrinfo",
+      // byte-order and address-text conversions
+      "ntohl", "ntohs", "htonl", "htons", "ntohll", "htonll", "inet_pton",
+      "inet_ntop", "inet_addr"};
+  return kBanned;
+}
+
+void CheckNetworkDiscipline(const SourceFile& f) {
+  if (f.rel == "src/net/socket.h" || f.rel == "src/net/socket.cc") {
+    return;  // the one sanctioned home of the raw syscall surface
+  }
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string& line = f.lines[i];
+    if (line.find("#include") == std::string::npos) continue;
+    if (line.find("<sys/socket.h>") != std::string::npos ||
+        line.find("<netinet/") != std::string::npos ||
+        line.find("<arpa/inet.h>") != std::string::npos ||
+        line.find("<netdb.h>") != std::string::npos) {
+      Emit(f.rel, i + 1, "MC012",
+           "raw socket header include outside src/net/socket.{h,cc} -- "
+           "use the net::Socket transport (src/net/socket.h)");
+    }
+  }
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kId) continue;
+    if (t[i + 1].kind != TokKind::kPunct || t[i + 1].text != "(") continue;
+
+    const std::string& name = t[i].text;
+    // read()/write() are everyday member names (std::istream::read,
+    // WireStream helpers...), so only the globally qualified libc
+    // spelling is banned; the socket(2)/ntohl families are unambiguous
+    // enough to ban bare too.
+    const bool qualified_only = name == "read" || name == "write";
+    if (!qualified_only && BannedNetworkCalls().count(name) == 0) continue;
+
+    // Classify the call's qualifier from the preceding token:
+    //   obj.name( / ptr->name( / ns::name(  -> someone else's method, skip
+    //   ::name(                             -> the libc symbol, flag
+    //   name(                               -> unqualified libc call, flag
+    bool global_scope = false;
+    bool otherwise_qualified = false;
+    if (i > 0 && t[i - 1].kind == TokKind::kPunct) {
+      if (t[i - 1].text == "::") {
+        if (i >= 2 && t[i - 2].kind == TokKind::kId) {
+          otherwise_qualified = true;  // std::bind, Socket::accept, ...
+        } else {
+          global_scope = true;
+        }
+      } else if (t[i - 1].text == "." || t[i - 1].text == "->") {
+        otherwise_qualified = true;
+      }
+    }
+    if (otherwise_qualified) continue;
+    if (qualified_only && !global_scope) continue;
+    Emit(f.rel, t[i].line, "MC012",
+         "raw " + std::string(global_scope ? "::" : "") + name +
+             "() call outside src/net/socket.{h,cc} -- route bytes "
+             "through net::Socket / SendFrame / RecvFrame");
+  }
+}
+
+// ---------------------------------------------------------------------
 // MC007: deterministic iteration inside ParallelFor bodies.
 //
 // The determinism contract promises bit-identical results at any thread
@@ -842,7 +927,7 @@ int main(int argc, char** argv) {
     if (arg == "-h" || arg == "--help") {
       std::cout << "usage: mc_lint [REPO_ROOT]\n"
                    "Checks the monoclass repo conventions (rules "
-                   "MC001-MC011); see docs/static_analysis.md.\n";
+                   "MC001-MC012); see docs/static_analysis.md.\n";
       return 0;
     }
     root = fs::path(std::string(arg));
@@ -887,6 +972,7 @@ int main(int argc, char** argv) {
     CheckParallelForDeterminism(f);
     CheckObsNaming(f);
     CheckLatencyDiscipline(f);
+    CheckNetworkDiscipline(f);
   }
   CheckUmbrella(files);
   CheckAuditCoverage(files);

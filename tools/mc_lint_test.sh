@@ -198,6 +198,45 @@ sed -i 's|int kNothing = 0;|// std::atomic is banned here\nconst char* kNote = "
   "$tmp/tree/src/util/good.h"
 expect_clean "mc:: spellings plus std::atomic mentioned in comment/string"
 
+# --- MC012: network discipline ------------------------------------------
+make_clean_tree
+sed -i 's|int kNothing = 0;|#include <sys/socket.h>\nint kNothing = 0;|' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "library code including <sys/socket.h>" MC012
+
+make_clean_tree
+sed -i 's|int kNothing = 0;|inline uint32_t Flip(uint32_t x) { return htonl(x); }|' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "library code calling bare htonl()" MC012
+
+make_clean_tree
+sed -i 's|int kNothing = 0;|inline void Push(int fd, const void* p, size_t n) { ::write(fd, p, n); }|' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "library code calling the libc ::write()" MC012
+
+make_clean_tree
+sed -i 's|int kNothing = 0;|inline int Open() { return socket(2, 1, 0); }|' \
+  "$tmp/tree/src/util/good.h"
+expect_rule "library code calling bare socket(2)" MC012
+
+# Negative: src/net/socket.{h,cc} is the sanctioned home of the raw
+# syscall surface -- includes and ::write are its whole job.
+make_clean_tree
+mkdir -p "$tmp/tree/src/net"
+header_boilerplate MONOCLASS_NET_SOCKET_H_ > "$tmp/tree/src/net/socket.h"
+sed -i 's|int kNothing = 0;|#include <sys/socket.h>\ninline void Push(int fd, const void* p, size_t n) { ::write(fd, p, n); }|' \
+  "$tmp/tree/src/net/socket.h"
+sed -i 's|#include "util/good.h"|#include "util/good.h"\n#include "net/socket.h"|' \
+  "$tmp/tree/src/monoclass.h"
+expect_clean "raw syscalls inside src/net/socket.h (the sanctioned home)"
+
+# Negative: everyday read() members, namespace-qualified look-alikes,
+# and net names inside comments/strings never fire.
+make_clean_tree
+sed -i 's|int kNothing = 0;|// calling ::write() or htonl() here would be MC012\nconst char* kDoc = "bind(2) and accept(2)";\ninline void Copy(std::istream\& in, char* buf) { in.read(buf, 8); }\ninline uint64_t Tag() { return Hash::send(3); }|' \
+  "$tmp/tree/src/util/good.h"
+expect_clean "member read(), ns-qualified send(), net names in comment/string"
+
 # --- MC007: determinism inside ParallelFor ------------------------------
 make_clean_tree
 cat >> "$tmp/tree/src/util/good.h.body" <<'EOF'
